@@ -1,0 +1,48 @@
+"""Figures 10b/10c: throughput and latency as a function of batch size.
+
+The paper sweeps batch sizes from 1 to 10,000: throughput rises with batch
+size until a backend-specific ceiling (DynamoDB tops out around 1,750 ops/s
+because of its blocking HTTP client), while per-batch latency grows roughly
+linearly.
+"""
+
+from repro.harness.experiments import run_batch_size_sweep
+from repro.harness.report import render_table
+
+from .conftest import run_once
+
+
+BATCH_SIZES = (1, 10, 100, 500, 1000)
+
+
+def _collect(bench_scale):
+    return run_batch_size_sweep(
+        backends=("dummy", "server", "server_wan", "dynamo"),
+        batch_sizes=BATCH_SIZES,
+        num_blocks=bench_scale["oram_objects"],
+        min_operations=max(600, bench_scale["batch_operations"]),
+    )
+
+
+def test_fig10b_throughput(benchmark, bench_scale):
+    rows = run_once(benchmark, lambda: _collect(bench_scale))
+    print()
+    print(render_table(rows, title="Figure 10b — throughput vs batch size (ops/s, simulated)",
+                       columns=["backend", "batch_size", "throughput_ops_per_s"]))
+    by = {(r.backend, r.batch_size): r for r in rows}
+    for backend in ("server", "server_wan", "dynamo"):
+        assert by[(backend, 1000)].throughput_ops_per_s > by[(backend, 1)].throughput_ops_per_s
+    # DynamoDB saturates earliest / lowest among the remote backends.
+    assert by[("dynamo", 1000)].throughput_ops_per_s < by[("server", 1000)].throughput_ops_per_s
+
+
+def test_fig10c_latency(benchmark, bench_scale):
+    rows = run_once(benchmark, lambda: _collect(bench_scale))
+    print()
+    print(render_table(rows, title="Figure 10c — batch latency vs batch size (ms, simulated)",
+                       columns=["backend", "batch_size", "latency_ms"]))
+    by = {(r.backend, r.batch_size): r for r in rows}
+    for backend in ("server", "server_wan", "dynamo"):
+        assert by[(backend, 1000)].latency_ms > by[(backend, 10)].latency_ms
+    # Small batches on the WAN still pay at least one 10 ms round trip.
+    assert by[("server_wan", 1)].latency_ms >= 10.0

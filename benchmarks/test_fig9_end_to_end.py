@@ -1,0 +1,52 @@
+"""Figure 9: end-to-end application performance.
+
+Regenerates the throughput (9a) and latency (9b) bars for Obladi, NoPriv and
+the MySQL-like baseline on TPC-C, FreeHealth and SmallBank, in both the LAN
+(0.3 ms) and WAN (10 ms) settings.  The paper's headline numbers are that
+Obladi stays within 5x-12x of NoPriv's throughput while paying roughly
+20x-70x in latency; EXPERIMENTS.md records the ratios this reproduction
+obtains.
+"""
+
+from repro.harness.experiments import run_end_to_end
+from repro.harness.report import render_table
+
+from .conftest import run_once
+
+
+def _collect(bench_scale):
+    return run_end_to_end(
+        applications=("tpcc", "freehealth", "smallbank"),
+        systems=("obladi", "nopriv", "mysql", "obladi_wan", "nopriv_wan"),
+        transactions=bench_scale["transactions"],
+        clients=bench_scale["clients"],
+        scale=bench_scale["workload_scale"],
+    )
+
+
+def test_fig9a_throughput(benchmark, bench_scale):
+    rows = run_once(benchmark, lambda: _collect(bench_scale))
+    print()
+    print(render_table(rows, title="Figure 9a — application throughput (simulated)",
+                       columns=["application", "system", "throughput_tps", "committed",
+                                "aborted", "abort_rate"]))
+    by = {(r.application, r.system): r for r in rows}
+    for app in ("tpcc", "freehealth", "smallbank"):
+        obladi = by[(app, "obladi")]
+        nopriv = by[(app, "nopriv")]
+        assert obladi.committed > 0
+        # Obladi pays for obliviousness but stays within two orders of magnitude.
+        assert nopriv.throughput_tps > obladi.throughput_tps
+        assert nopriv.throughput_tps / max(obladi.throughput_tps, 1e-9) < 150
+
+
+def test_fig9b_latency(benchmark, bench_scale):
+    rows = run_once(benchmark, lambda: _collect(bench_scale))
+    print()
+    print(render_table(rows, title="Figure 9b — mean transaction latency (simulated ms)",
+                       columns=["application", "system", "mean_latency_ms"]))
+    by = {(r.application, r.system): r for r in rows}
+    for app in ("tpcc", "freehealth", "smallbank"):
+        assert by[(app, "obladi")].mean_latency_ms > by[(app, "nopriv")].mean_latency_ms
+        # Latency stays in the hundreds of milliseconds even on the WAN.
+        assert by[(app, "obladi_wan")].mean_latency_ms < 5000

@@ -1,0 +1,39 @@
+"""Table 11b: durability slowdown and recovery-time breakdown vs ORAM size.
+
+The paper reports, for 10K/100K/1M objects on the WAN backend: a normal-case
+slowdown of 0.83x-0.89x from durability, total recovery times growing from
+about 1.5 s to 6.1 s, position/permutation map costs growing with the number
+of keys, and path-replay costs growing only with the tree depth.
+"""
+
+from repro.harness.experiments import run_recovery_table
+from repro.harness.report import render_table
+
+from .conftest import run_once
+
+
+def test_tab11b_recovery(benchmark, bench_scale):
+    sizes = bench_scale["recovery_sizes"]
+    rows = run_once(benchmark, lambda: run_recovery_table(
+        sizes=sizes,
+        backend="server_wan",
+        transactions=max(32, bench_scale["transactions"] // 4),
+        clients=max(8, bench_scale["clients"] // 4),
+    ))
+    print()
+    print(render_table(rows, title="Table 11b — recovery breakdown (simulated ms, WAN)",
+                       columns=["num_objects", "tree_levels", "durability_slowdown",
+                                "recovery_time_ms", "network_ms", "position_ms",
+                                "permutation_ms", "paths_ms"]))
+    ordered = sorted(rows, key=lambda r: r.num_objects)
+    for row in ordered:
+        # Durability costs some throughput but far from all of it.
+        assert 0.3 < row.durability_slowdown <= 1.1
+        assert row.recovery_time_ms > 0
+    # Metadata-decryption costs grow with the number of objects; recovery
+    # time therefore grows with ORAM size.
+    assert ordered[-1].position_ms >= ordered[0].position_ms
+    assert ordered[-1].permutation_ms >= ordered[0].permutation_ms
+    assert ordered[-1].recovery_time_ms >= ordered[0].recovery_time_ms
+    # The larger ORAM has at least as many tree levels.
+    assert ordered[-1].tree_levels >= ordered[0].tree_levels

@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Adds ``src/`` to ``sys.path`` so the test and benchmark suites run even when
+the package has not been installed (e.g. in offline CI containers where
+editable installs are awkward).  When ``repro`` is already installed this is
+a no-op: the installed package wins only if it appears earlier on the path,
+and inserting ``src`` first keeps the working tree authoritative.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""An oblivious electronic-health-record service (the paper's motivating use).
+
+The introduction of the Obladi paper motivates hiding access patterns with a
+medical scenario: even when charts are encrypted, *which* chart is read and
+*how often* can reveal a diagnosis (e.g. the cadence of chemotherapy
+appointments).  This example runs the FreeHealth EHR workload on Obladi and
+then demonstrates exactly that property: a patient receiving weekly
+treatment and a patient never seen at all are indistinguishable to the cloud
+storage provider.
+
+Run it with::
+
+    python examples/medical_records.py
+"""
+
+import random
+
+from repro import ObladiConfig, ObladiProxy
+from repro.analysis.obliviousness import leaf_access_counts, trace_similarity
+from repro.core.config import RingOramConfig
+from repro.workloads.driver import run_obladi_closed_loop
+from repro.workloads.freehealth import FreeHealthConfig, FreeHealthWorkload
+
+
+def build_clinic(seed: int) -> tuple:
+    """A small clinic database on an Obladi proxy."""
+    workload = FreeHealthWorkload(FreeHealthConfig(num_users=6, num_patients=80,
+                                                   num_drugs=30, seed=seed))
+    data = workload.initial_data()
+    config = ObladiConfig.for_workload(
+        "freehealth", num_blocks=2 * len(data), backend="server",
+        oram=RingOramConfig(num_blocks=2 * len(data), z_real=16, block_size=320),
+        read_batch_size=32, write_batch_size=16, durability=True, seed=seed)
+    proxy = ObladiProxy(config)
+    proxy.load_initial_data(data)
+    return proxy, workload
+
+
+def run_clinic_day(proxy, workload, transactions=60, clients=10) -> None:
+    """A day at the clinic: chart lookups, new episodes, prescriptions."""
+    run = run_obladi_closed_loop(proxy, workload.transaction_factory,
+                                 total_transactions=transactions, clients=clients)
+    print(f"  committed {run.committed} clinical transactions "
+          f"({run.aborted} retried/aborted) in {run.epochs} epochs")
+    print(f"  simulated throughput {run.throughput_tps:.0f} txn/s, "
+          f"mean latency {run.average_latency_ms:.0f} ms")
+
+
+def chemotherapy_schedule(proxy, workload, patient: int, weeks: int = 6) -> None:
+    """Weekly oncology visits for one patient: episode + prescription each week."""
+    for week in range(weeks):
+        proxy.submit(workload.create_episode_program(patient=patient))
+        proxy.submit(workload.prescribe_program())
+        proxy.run_epoch()
+
+
+def main() -> None:
+    print("=== Oblivious EHR demo (FreeHealth on Obladi) ===\n")
+
+    print("A normal clinic day:")
+    proxy, workload = build_clinic(seed=1)
+    run_clinic_day(proxy, workload)
+
+    print("\nNow compare two worlds the cloud provider might try to tell apart:")
+    print("  world A: patient 7 attends weekly chemotherapy appointments")
+    print("  world B: patient 7 never visits; other patients are seen instead\n")
+
+    world_a, workload_a = build_clinic(seed=2)
+    world_a.storage.trace.clear()
+    chemotherapy_schedule(world_a, workload_a, patient=7)
+
+    world_b, workload_b = build_clinic(seed=2)
+    world_b.storage.trace.clear()
+    rng = random.Random(3)
+    for _ in range(6):
+        world_b.submit(workload_b.lookup_patient_program())
+        world_b.submit(workload_b.medical_history_program())
+        world_b.run_epoch()
+    del rng
+
+    depth = world_a.oram.params.depth
+    distance = trace_similarity(world_a.storage.trace, world_b.storage.trace, depth)
+    counts_a = leaf_access_counts(world_a.storage.trace, depth)
+    read_batches_a = [s for k, s in world_a.storage.trace.batch_shape() if k == "read"]
+    read_batches_b = [s for k, s in world_b.storage.trace.batch_shape() if k == "read"]
+    print(f"physical requests observed:  world A = {len(world_a.storage.trace)}, "
+          f"world B = {len(world_b.storage.trace)}")
+    print(f"distinct ORAM paths touched in world A: {len(counts_a)}")
+    print(f"total-variation distance between the two path distributions: {distance:.3f}")
+    print(f"read batches observed: {len(read_batches_a)} vs {len(read_batches_b)}, "
+          f"all padded to size {set(read_batches_a) | set(read_batches_b)}")
+    print("\nThe provider sees the same number of fixed-size encrypted batches in both"
+          "\nworlds and statistically indistinguishable path distributions — it cannot"
+          "\ntell whether patient 7 is in treatment at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable (``pip install -e . --no-build-isolation``)
+in offline environments whose setuptools lacks PEP 660 wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Analysis tools: obliviousness checks and performance metrics.
+
+The security lemmas of the paper (§9, Appendix B) are validated empirically:
+the storage trace recorded by :mod:`repro.storage.trace` is analysed for
+workload independence — uniformly distributed path accesses, no slot re-read
+between reshuffles, batch shapes that depend only on the configuration — and
+compared across deliberately different logical workloads.
+"""
+
+from repro.analysis.obliviousness import (bucket_access_counts, leaf_access_counts,
+                                          chi_square_uniformity, trace_similarity,
+                                          check_bucket_invariant, slot_read_multiset)
+from repro.analysis.metrics import LatencyStats, summarize_latencies, throughput_tps
+
+__all__ = [
+    "bucket_access_counts",
+    "leaf_access_counts",
+    "chi_square_uniformity",
+    "trace_similarity",
+    "check_bucket_invariant",
+    "slot_read_multiset",
+    "LatencyStats",
+    "summarize_latencies",
+    "throughput_tps",
+]

@@ -1,0 +1,83 @@
+"""Performance metric helpers shared by the harness and the benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample (milliseconds)."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    index = min(len(sorted_values) - 1, max(0, math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[index]
+
+
+def summarize_latencies(latencies_ms: Iterable[float]) -> LatencyStats:
+    """Build a :class:`LatencyStats` from raw samples."""
+    values = sorted(latencies_ms)
+    if not values:
+        return LatencyStats(count=0, mean_ms=0.0, p50_ms=0.0, p95_ms=0.0, p99_ms=0.0, max_ms=0.0)
+    return LatencyStats(
+        count=len(values),
+        mean_ms=sum(values) / len(values),
+        p50_ms=percentile(values, 0.50),
+        p95_ms=percentile(values, 0.95),
+        p99_ms=percentile(values, 0.99),
+        max_ms=values[-1],
+    )
+
+
+def throughput_tps(committed: int, elapsed_ms: float) -> float:
+    """Committed transactions (or operations) per simulated second."""
+    if elapsed_ms <= 0:
+        return 0.0
+    return committed * 1000.0 / elapsed_ms
+
+
+def relative(value: float, baseline: float) -> float:
+    """``value / baseline`` with a defined result for a zero baseline."""
+    if baseline == 0:
+        return float("inf") if value > 0 else 1.0
+    return value / baseline
+
+
+def slowdown(baseline: float, value: float) -> float:
+    """How many times slower ``value`` is than ``baseline`` (both rates)."""
+    if value == 0:
+        return float("inf")
+    return baseline / value
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, ignoring non-positive entries."""
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))

@@ -1,0 +1,157 @@
+"""Empirical obliviousness checks over storage traces.
+
+Obladi's security argument reduces to properties of what the storage server
+observes.  These helpers turn an :class:`~repro.storage.trace.AccessTrace`
+into the statistics those properties are about:
+
+* the distribution of ORAM *paths* (equivalently: leaf-level buckets) read —
+  must be indistinguishable from uniform and, crucially, indistinguishable
+  *between different logical workloads*;
+* the bucket invariant — no physical slot is read twice between two writes
+  of its bucket;
+* the adversary-visible batch shape — must be a function of the
+  configuration only.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.oram import path_math
+from repro.storage.backend import StorageOp
+from repro.storage.trace import AccessTrace
+
+
+def _parse_oram_key(key: str) -> Optional[Tuple[int, int, int]]:
+    """Parse ``oram/<bucket>/v<version>/s/<slot>`` keys; None for other keys."""
+    if not key.startswith("oram/"):
+        return None
+    parts = key.split("/")
+    if len(parts) != 5:
+        return None
+    try:
+        bucket = int(parts[1])
+        version = int(parts[2][1:])
+        slot = int(parts[4])
+    except ValueError:
+        return None
+    return bucket, version, slot
+
+
+def bucket_access_counts(trace: AccessTrace, op: Optional[StorageOp] = StorageOp.READ
+                         ) -> Counter:
+    """How often each ORAM bucket was touched."""
+    counts: Counter = Counter()
+    for event in trace.events:
+        if op is not None and event.op != op:
+            continue
+        parsed = _parse_oram_key(event.key)
+        if parsed is None:
+            continue
+        counts[parsed[0]] += 1
+    return counts
+
+
+def leaf_access_counts(trace: AccessTrace, depth: int,
+                       op: Optional[StorageOp] = StorageOp.READ) -> Counter:
+    """Accesses per leaf-level bucket (a proxy for the paths read).
+
+    Each path read touches exactly one leaf bucket, so the leaf histogram is
+    the path histogram — the quantity the path invariant makes uniform.
+    """
+    counts: Counter = Counter()
+    first_leaf = path_math.bucket_id(depth, 0)
+    for bucket, total in bucket_access_counts(trace, op).items():
+        if bucket >= first_leaf:
+            counts[bucket - first_leaf] += total
+    return counts
+
+
+def chi_square_uniformity(counts: Dict[int, int], categories: int) -> Tuple[float, float]:
+    """Chi-square statistic and its normal-approximated p-value against uniform.
+
+    Returns ``(statistic, p_value)``.  With ``categories`` cells and ``n``
+    observations the statistic is compared to a chi-square distribution with
+    ``categories - 1`` degrees of freedom using the Wilson–Hilferty
+    approximation, which is accurate enough for the test suite's purposes
+    and avoids a scipy dependency in the hot path.
+    """
+    n = sum(counts.values())
+    if n == 0 or categories <= 1:
+        return 0.0, 1.0
+    expected = n / categories
+    statistic = 0.0
+    for cell in range(categories):
+        observed = counts.get(cell, 0)
+        statistic += (observed - expected) ** 2 / expected
+    dof = categories - 1
+    # Wilson–Hilferty: (X/k)^(1/3) approx normal.
+    z = ((statistic / dof) ** (1.0 / 3.0) - (1 - 2.0 / (9 * dof))) / math.sqrt(2.0 / (9 * dof))
+    p_value = 0.5 * math.erfc(z / math.sqrt(2.0))
+    return statistic, p_value
+
+
+def trace_similarity(trace_a: AccessTrace, trace_b: AccessTrace, depth: int) -> float:
+    """Total-variation distance between two traces' leaf-access distributions.
+
+    Workload independence predicts this distance stays small (it is bounded
+    by sampling noise) no matter how different the logical workloads are.
+    Returns a value in [0, 1]; 0 means identical distributions.
+    """
+    counts_a = leaf_access_counts(trace_a, depth)
+    counts_b = leaf_access_counts(trace_b, depth)
+    total_a = sum(counts_a.values()) or 1
+    total_b = sum(counts_b.values()) or 1
+    leaves = 1 << depth
+    distance = 0.0
+    for leaf in range(leaves):
+        pa = counts_a.get(leaf, 0) / total_a
+        pb = counts_b.get(leaf, 0) / total_b
+        distance += abs(pa - pb)
+    return distance / 2.0
+
+
+def slot_read_multiset(trace: AccessTrace) -> Dict[Tuple[int, int, int], int]:
+    """Read counts per (bucket, version, slot) physical location."""
+    counts: Dict[Tuple[int, int, int], int] = defaultdict(int)
+    for event in trace.events:
+        if event.op != StorageOp.READ:
+            continue
+        parsed = _parse_oram_key(event.key)
+        if parsed is not None:
+            counts[parsed] += 1
+    return dict(counts)
+
+
+def check_bucket_invariant(trace: AccessTrace) -> List[Tuple[int, int, int]]:
+    """Physical slots read more than once between bucket rewrites.
+
+    Ring ORAM's bucket invariant forbids this; an empty list means the
+    invariant held for the whole trace.  (A slot may legitimately be read
+    again after its bucket is rewritten, but rewrites bump the version in the
+    key, so a repeat of the *same* (bucket, version, slot) triple is always a
+    violation.)
+    """
+    violations = []
+    for location, count in slot_read_multiset(trace).items():
+        if count > 1:
+            violations.append(location)
+    return sorted(violations)
+
+
+def epoch_batch_pattern(trace: AccessTrace) -> List[str]:
+    """The adversary-visible sequence of batch kinds ("read"/"write").
+
+    In a correct Obladi execution this sequence is ``R`` reads followed by
+    one write, repeated per epoch — a function of the configuration alone.
+    Tests compare the pattern across workloads and against the expected
+    regular structure.
+    """
+    return [kind for kind, _size in trace.batch_shape()]
+
+
+def batch_shapes_equal(trace_a: AccessTrace, trace_b: AccessTrace) -> bool:
+    """Whether two traces exposed identical (kind, size) batch sequences."""
+    return trace_a.batch_shape() == trace_b.batch_shape()

@@ -1,0 +1,16 @@
+"""Non-private baselines used by the end-to-end evaluation (Figure 9).
+
+* :class:`~repro.baseline.nopriv.NoPrivProxy` — the paper's NoPriv baseline:
+  the same MVTSO concurrency control as Obladi, but the data handler talks to
+  remote storage directly (no ORAM, no batching, no delayed commits).  Writes
+  are buffered at the proxy until commit and served locally when possible.
+* :class:`~repro.baseline.mysql_like.TwoPhaseLockingStore` — a MySQL/InnoDB
+  stand-in: strict two-phase locking with locks held until commit, which is
+  what serialises TPC-C's new-order/payment contention in the paper.
+"""
+
+from repro.baseline.common import BaselineRunResult
+from repro.baseline.nopriv import NoPrivProxy
+from repro.baseline.mysql_like import TwoPhaseLockingStore
+
+__all__ = ["BaselineRunResult", "NoPrivProxy", "TwoPhaseLockingStore"]

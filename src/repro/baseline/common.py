@@ -1,0 +1,90 @@
+"""Shared infrastructure for the closed-loop baseline executors.
+
+Both baselines execute transaction programs (the same generator programs the
+Obladi proxy runs) in a closed loop with ``C`` concurrent client slots over a
+simulated clock:
+
+* each client slot runs one transaction at a time and advances its own local
+  time as its operations incur storage round trips;
+* the proxy's CPU is a shared, serial resource: every operation also charges
+  a small CPU cost to a global accumulator, and the run's makespan is the
+  larger of "last client finished" and "total CPU demanded" — this is how
+  the ``dummy``/LAN configurations become CPU-bound while WAN configurations
+  stay I/O-bound, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.client import TransactionResult
+
+
+@dataclass
+class BaselineRunResult:
+    """Aggregate outcome of a closed-loop baseline run."""
+
+    committed: int = 0
+    aborted: int = 0
+    retries: int = 0
+    makespan_ms: float = 0.0
+    cpu_ms: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+    results: List[TransactionResult] = field(default_factory=list)
+
+    @property
+    def throughput_tps(self) -> float:
+        """Committed transactions per simulated second."""
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.committed * 1000.0 / self.makespan_ms
+
+    @property
+    def average_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return sum(self.latencies_ms) / len(self.latencies_ms)
+
+    @property
+    def p95_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+        return ordered[index]
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.committed + self.aborted
+        return self.aborted / total if total else 0.0
+
+
+@dataclass
+class ClientSlot:
+    """One closed-loop client: runs transactions back-to-back."""
+
+    slot_id: int
+    time_ms: float = 0.0
+    busy: bool = False
+    transactions_run: int = 0
+
+
+ProgramFactory = Callable[[], object]
+
+
+@dataclass
+class PendingProgram:
+    """A program waiting to be executed (possibly a retry).
+
+    ``not_before_ms`` implements client retry backoff: a transaction aborted
+    by a conflict or deadlock is resubmitted only after a short delay, which
+    prevents the deterministic simulation from replaying the same collision
+    in lockstep forever (real clients get the same effect from scheduling
+    noise).
+    """
+
+    factory: ProgramFactory
+    attempts: int = 0
+    first_submit_ms: float = 0.0
+    not_before_ms: float = 0.0

@@ -1,0 +1,34 @@
+"""Concurrency control.
+
+Obladi's proxy runs multiversion timestamp ordering (MVTSO): every
+transaction gets a unique timestamp fixing its serialization order, writes
+create new versions visible immediately to concurrent transactions, reads
+return the latest version older than the reader and leave a read marker that
+causes late writers to abort.  Transactions that observed uncommitted data
+record write-read dependencies and abort in cascade if a dependency aborts.
+
+The package also contains a strict two-phase-locking store used by the
+"MySQL" baseline of Figure 9 and a serialization-graph checker used by the
+test suite to validate that every committed history really is serializable.
+"""
+
+from repro.concurrency.transaction import TransactionRecord, TransactionStatus
+from repro.concurrency.mvtso import MVTSOManager, WriteConflictError
+from repro.concurrency.versions import Version, VersionChain, VersionStore
+from repro.concurrency.serializability import SerializationGraph, check_serializable
+from repro.concurrency.two_phase_locking import LockManager, LockMode, DeadlockError
+
+__all__ = [
+    "TransactionRecord",
+    "TransactionStatus",
+    "MVTSOManager",
+    "WriteConflictError",
+    "Version",
+    "VersionChain",
+    "VersionStore",
+    "SerializationGraph",
+    "check_serializable",
+    "LockManager",
+    "LockMode",
+    "DeadlockError",
+]

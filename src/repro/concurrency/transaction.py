@@ -1,0 +1,116 @@
+"""Transaction bookkeeping shared by the concurrency control schemes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class TransactionStatus(enum.Enum):
+    """Lifecycle of a transaction at the proxy."""
+
+    ACTIVE = "active"
+    COMMIT_REQUESTED = "commit_requested"   # client asked to commit; epoch not over
+    COMMITTED = "committed"                 # durable; client has been notified
+    ABORTED = "aborted"
+
+
+class AbortReason(enum.Enum):
+    """Why a transaction was aborted (used by metrics and tests)."""
+
+    WRITE_CONFLICT = "write_conflict"        # MVTSO: wrote under a newer read marker
+    CASCADE = "cascade"                      # a write-read dependency aborted
+    EPOCH_BOUNDARY = "epoch_boundary"        # unfinished when the epoch closed
+    BATCH_FULL = "batch_full"                # no read/write batch slot available
+    CRASH = "crash"                          # proxy failure (epoch fate sharing)
+    DEADLOCK = "deadlock"                    # 2PL baseline only
+    USER = "user"                            # explicit client abort
+
+
+@dataclass
+class TransactionRecord:
+    """Proxy-side state for one transaction."""
+
+    txn_id: int
+    timestamp: int
+    epoch: int
+    status: TransactionStatus = TransactionStatus.ACTIVE
+    abort_reason: Optional[AbortReason] = None
+
+    read_set: Dict[str, int] = field(default_factory=dict)       # key -> writer_ts observed
+    write_set: Dict[str, Optional[bytes]] = field(default_factory=dict)
+    dependencies: Set[int] = field(default_factory=set)          # txn ids whose writes we read
+    dependents: Set[int] = field(default_factory=set)            # txns that read our writes
+    start_time_ms: float = 0.0
+    finish_time_ms: float = 0.0
+    operations: int = 0
+
+    # ------------------------------------------------------------------ #
+    # State transitions
+    # ------------------------------------------------------------------ #
+    @property
+    def is_active(self) -> bool:
+        return self.status is TransactionStatus.ACTIVE
+
+    @property
+    def is_finished(self) -> bool:
+        return self.status in (TransactionStatus.COMMITTED, TransactionStatus.ABORTED)
+
+    def request_commit(self) -> None:
+        if self.status is not TransactionStatus.ACTIVE:
+            raise ValueError(f"cannot request commit from state {self.status}")
+        self.status = TransactionStatus.COMMIT_REQUESTED
+
+    def mark_committed(self, now_ms: float = 0.0) -> None:
+        if self.status is TransactionStatus.ABORTED:
+            raise ValueError("cannot commit an aborted transaction")
+        self.status = TransactionStatus.COMMITTED
+        self.finish_time_ms = now_ms
+
+    def mark_aborted(self, reason: AbortReason, now_ms: float = 0.0) -> None:
+        if self.status is TransactionStatus.COMMITTED:
+            raise ValueError("cannot abort a committed transaction")
+        self.status = TransactionStatus.ABORTED
+        self.abort_reason = reason
+        self.finish_time_ms = now_ms
+
+    # ------------------------------------------------------------------ #
+    # Read/write tracking
+    # ------------------------------------------------------------------ #
+    def record_read(self, key: str, writer_ts: int, writer_txn: Optional[int] = None) -> None:
+        self.read_set[key] = writer_ts
+        self.operations += 1
+        if writer_txn is not None and writer_txn != self.txn_id:
+            self.dependencies.add(writer_txn)
+
+    def record_write(self, key: str, value: Optional[bytes]) -> None:
+        self.write_set[key] = value
+        self.operations += 1
+
+    def latency_ms(self) -> float:
+        """Client-observed latency once finished."""
+        if not self.is_finished:
+            raise ValueError("transaction has not finished")
+        return max(0.0, self.finish_time_ms - self.start_time_ms)
+
+
+@dataclass
+class CommittedTransaction:
+    """Immutable record of a committed transaction, for history checking."""
+
+    txn_id: int
+    timestamp: int
+    epoch: int
+    read_set: Dict[str, int]
+    write_set: Dict[str, Optional[bytes]]
+
+    @classmethod
+    def from_record(cls, record: TransactionRecord) -> "CommittedTransaction":
+        return cls(
+            txn_id=record.txn_id,
+            timestamp=record.timestamp,
+            epoch=record.epoch,
+            read_set=dict(record.read_set),
+            write_set=dict(record.write_set),
+        )

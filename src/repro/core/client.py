@@ -1,0 +1,192 @@
+"""Client-side transaction interface.
+
+Transactions are expressed as *generator programs*: plain Python generator
+functions that yield :class:`Read` and :class:`Write` operations and receive
+read results back through ``send``.  This mirrors how the paper's clients
+issue operations to the proxy one at a time (and lets the proxy batch reads
+into its fixed epoch structure without threads):
+
+.. code-block:: python
+
+    def transfer(src, dst, amount):
+        src_balance = yield Read(f"account:{src}")
+        dst_balance = yield Read(f"account:{dst}")
+        yield Write(f"account:{src}", encode(decode(src_balance) - amount))
+        yield Write(f"account:{dst}", encode(decode(dst_balance) + amount))
+        return "ok"
+
+The same programs run unchanged against :class:`repro.core.proxy.ObladiProxy`,
+the NoPriv baseline and the 2PL baseline.
+
+For interactive use (the quickstart example), :class:`Transaction` offers a
+blocking façade over a single-transaction epoch: ``txn.read(key)`` /
+``txn.write(key, value)`` / ``txn.commit()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Iterable, List, Optional, Tuple, Union
+
+
+class TransactionAborted(Exception):
+    """Raised to the client when its transaction aborted.
+
+    ``reason`` carries the proxy-side abort reason string (write conflict,
+    cascade, epoch boundary, batch full, crash, user).
+    """
+
+    def __init__(self, txn_id: int, reason: str) -> None:
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class Read:
+    """Yielded by a transaction program to read a key."""
+
+    key: str
+
+
+@dataclass(frozen=True)
+class ReadMany:
+    """Yielded to read several *independent* keys in one round.
+
+    The proxy schedules all of them into the same (or the next available)
+    read batch, so a transaction that fetches, say, the stock rows of every
+    item in an order consumes one round of the epoch instead of one round per
+    item.  The yield returns a dict mapping each key to its value.
+    """
+
+    keys: tuple
+
+    def __init__(self, keys) -> None:
+        object.__setattr__(self, "keys", tuple(keys))
+
+
+@dataclass(frozen=True)
+class Write:
+    """Yielded by a transaction program to write a key."""
+
+    key: str
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, (bytes, bytearray)):
+            raise TypeError("values written to Obladi must be bytes")
+
+
+@dataclass(frozen=True)
+class AbortRequest:
+    """Yielded by a transaction program to abort itself voluntarily."""
+
+    reason: str = "user"
+
+
+Operation = Union[Read, ReadMany, Write, AbortRequest]
+TransactionProgram = Callable[..., Generator[Operation, Optional[bytes], object]]
+
+
+@dataclass
+class TransactionResult:
+    """Outcome of one transaction as reported to the client."""
+
+    txn_id: int
+    committed: bool
+    return_value: object = None
+    abort_reason: Optional[str] = None
+    latency_ms: float = 0.0
+    epoch: int = -1
+
+
+def static_program(reads: Iterable[str],
+                   writes: Dict[str, bytes]) -> TransactionProgram:
+    """Build a program that performs a fixed set of reads then writes.
+
+    Useful for microbenchmarks (YCSB) and tests where the access set does
+    not depend on the data read.
+    """
+    read_list = list(reads)
+    write_items = dict(writes)
+
+    def program():
+        values = {}
+        for key in read_list:
+            values[key] = yield Read(key)
+        for key, value in write_items.items():
+            yield Write(key, value)
+        return values
+
+    return program
+
+
+class Transaction:
+    """Blocking convenience façade used by the quickstart example.
+
+    The proxy exposes ``proxy.transaction()`` returning one of these; reads
+    and writes are buffered and submitted as a single generator program when
+    :meth:`commit` is called, so each interactive transaction occupies one
+    epoch slot.  Reads issued before commit return the proxy's current
+    committed state (they are re-validated at commit time by MVTSO).
+    """
+
+    def __init__(self, submit: Callable[[TransactionProgram], TransactionResult],
+                 read_now: Callable[[str], Optional[bytes]]) -> None:
+        self._submit = submit
+        self._read_now = read_now
+        self._ops: List[Tuple[str, str, Optional[bytes]]] = []
+        self._finished = False
+
+    def read(self, key: str) -> Optional[bytes]:
+        """Read a key; the value reflects the latest committed epoch."""
+        self._check_open()
+        self._ops.append(("read", key, None))
+        return self._read_now(key)
+
+    def write(self, key: str, value: bytes) -> None:
+        """Buffer a write; it becomes visible when the transaction commits."""
+        self._check_open()
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError("values written to Obladi must be bytes")
+        self._ops.append(("write", key, bytes(value)))
+
+    def commit(self) -> TransactionResult:
+        """Submit the buffered operations as one transaction and wait."""
+        self._check_open()
+        self._finished = True
+        ops = list(self._ops)
+
+        def program():
+            for kind, key, value in ops:
+                if kind == "read":
+                    yield Read(key)
+                else:
+                    yield Write(key, value)
+            return True
+
+        result = self._submit(program)
+        if not result.committed:
+            raise TransactionAborted(result.txn_id, result.abort_reason or "unknown")
+        return result
+
+    def abort(self) -> None:
+        """Discard the buffered operations without contacting the proxy."""
+        self._check_open()
+        self._finished = True
+        self._ops.clear()
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise RuntimeError("transaction already committed or aborted")
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._finished:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False

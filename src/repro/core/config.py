@@ -1,0 +1,162 @@
+"""Configuration of the Obladi proxy and its Ring ORAM tree.
+
+The parameters mirror Table 1 of the paper:
+
+===========  ==================================================
+``N``        number of real objects (``RingOramConfig.num_blocks``)
+``Z``        real slots per bucket
+``S``        dummy slots per bucket
+``A``        accesses between evict-path operations
+``L``        tree depth
+``R``        read batches per epoch (``ObladiConfig.read_batches``)
+``b_read``   size of a read batch
+``b_write``  size of the (single) write batch
+``Δ``        interval between read batches, in simulated ms
+===========  ==================================================
+
+Section 6.4 discusses how to choose them; :func:`ObladiConfig.for_workload`
+encodes those rules of thumb so the end-to-end experiments configure
+themselves the way the paper describes (OLTP: large ``b_read``, few ``R``;
+read-mostly applications: small ``b_write``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.oram.parameters import RingOramParameters, derive_parameters
+from repro.sim.latency import CpuCostModel
+
+
+@dataclass(frozen=True)
+class RingOramConfig:
+    """User-facing Ring ORAM sizing; converted to RingOramParameters."""
+
+    num_blocks: int = 10_000
+    z_real: int = 16
+    s_dummies: int = 0          # 0 = use the published optimum for Z
+    evict_rate: int = 0         # 0 = use the published optimum for Z
+    block_size: int = 256
+    max_stash_blocks: int = 0   # 0 = conservative default (4Z)
+
+    def to_parameters(self) -> RingOramParameters:
+        return derive_parameters(
+            num_blocks=self.num_blocks,
+            z_real=self.z_real,
+            block_size=self.block_size,
+            evict_rate=self.evict_rate,
+            s_dummies=self.s_dummies,
+            max_stash_blocks=self.max_stash_blocks,
+        )
+
+
+@dataclass(frozen=True)
+class ObladiConfig:
+    """Full configuration of an Obladi proxy."""
+
+    oram: RingOramConfig = field(default_factory=RingOramConfig)
+
+    # Epoch / batching parameters (Table 1).
+    read_batches: int = 4            # R
+    read_batch_size: int = 64        # b_read
+    write_batch_size: int = 64       # b_write
+    batch_interval_ms: float = 5.0   # Δ: interval between read batches
+
+    # Storage / network.
+    backend: str = "server"          # latency model name or LatencyModel
+    parallelism: int = 1024          # max in-flight physical requests at the proxy
+
+    # Security toggles (used by ablation benchmarks).
+    encrypt: bool = True
+    dummiless_writes: bool = True
+    cache_stash_reads: bool = True
+    buffer_writes: bool = True       # delayed visibility (Figure 10d ablation)
+
+    # Durability.
+    durability: bool = True
+    checkpoint_frequency: int = 4    # full checkpoint every k epochs (Figure 11a)
+
+    # Misc.
+    seed: Optional[int] = 0
+    cost_model: CpuCostModel = field(default_factory=CpuCostModel)
+
+    def __post_init__(self) -> None:
+        if self.read_batches < 1:
+            raise ValueError("an epoch needs at least one read batch")
+        if self.read_batch_size < 1 or self.write_batch_size < 1:
+            raise ValueError("batch sizes must be positive")
+        if self.batch_interval_ms < 0:
+            raise ValueError("batch interval cannot be negative")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        if self.checkpoint_frequency < 1:
+            raise ValueError("checkpoint frequency must be at least 1")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def epoch_read_capacity(self) -> int:
+        """Total logical read slots per epoch (R * b_read)."""
+        return self.read_batches * self.read_batch_size
+
+    @property
+    def epoch_length_ms(self) -> float:
+        """Nominal epoch length: R batch intervals."""
+        return self.read_batches * self.batch_interval_ms
+
+    @property
+    def position_delta_pad_entries(self) -> int:
+        """Padding bound for position-map delta checkpoints (paper §8).
+
+        The number of position-map entries an epoch can change is bounded by
+        the read slots plus the write batch size.
+        """
+        return self.epoch_read_capacity + self.write_batch_size
+
+    def with_backend(self, backend: str) -> "ObladiConfig":
+        """Copy of this configuration targeting a different storage backend."""
+        return replace(self, backend=backend)
+
+    def describe(self) -> str:
+        return (
+            f"ObladiConfig(R={self.read_batches}, b_read={self.read_batch_size}, "
+            f"b_write={self.write_batch_size}, Δ={self.batch_interval_ms}ms, "
+            f"backend={self.backend}, {self.oram.to_parameters().describe()})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Workload presets (paper §6.4)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_workload(cls, profile: str, num_blocks: int = 10_000,
+                     backend: str = "server", **overrides) -> "ObladiConfig":
+        """Configuration presets following the paper's guidance.
+
+        ``tpcc``      — heterogeneous OLTP: deep epochs (8 read batches), a
+                        large write batch (the paper uses 2,000 at EC2 scale).
+        ``smallbank`` — short homogeneous transactions: shallow epochs.
+        ``freehealth``— read-mostly EHR workload: five read batches, small
+                        write batch.
+        ``ycsb``      — microbenchmark: a single large read batch.
+        """
+        presets = {
+            "tpcc": dict(read_batches=8, read_batch_size=96, write_batch_size=192,
+                         batch_interval_ms=10.0),
+            "smallbank": dict(read_batches=3, read_batch_size=64, write_batch_size=64,
+                              batch_interval_ms=5.0),
+            "freehealth": dict(read_batches=5, read_batch_size=64, write_batch_size=24,
+                               batch_interval_ms=5.0),
+            "ycsb": dict(read_batches=1, read_batch_size=500, write_batch_size=100,
+                         batch_interval_ms=10.0),
+        }
+        if profile not in presets:
+            raise KeyError(f"unknown workload profile {profile!r}; "
+                           f"valid: {', '.join(sorted(presets))}")
+        kwargs = dict(presets[profile])
+        kwargs.update(overrides)
+        oram_kwargs = kwargs.pop("oram", None)
+        oram = oram_kwargs if isinstance(oram_kwargs, RingOramConfig) else RingOramConfig(
+            num_blocks=num_blocks)
+        return cls(oram=oram, backend=backend, **kwargs)

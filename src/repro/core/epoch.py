@@ -1,0 +1,94 @@
+"""Epoch bookkeeping.
+
+Epochs are the unit at which Obladi enforces consistency and durability:
+transactions are assigned to an epoch on arrival, execute optimistically
+within it, and learn their fate (commit or abort) only when the epoch closes.
+An epoch either commits in its entirety — every finished transaction becomes
+durable — or, on a crash, disappears entirely (epoch fate sharing).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.concurrency.transaction import TransactionRecord
+
+
+class EpochPhase(enum.Enum):
+    """Lifecycle of an epoch at the proxy."""
+
+    OPEN = "open"                  # accepting transactions, running read batches
+    WRITE_BACK = "write_back"      # read batches done; flushing the write batch
+    COMMITTED = "committed"        # durable; clients notified
+    ABORTED = "aborted"            # lost to a crash; all transactions aborted
+
+
+@dataclass
+class EpochState:
+    """Mutable state of one epoch."""
+
+    epoch_id: int
+    phase: EpochPhase = EpochPhase.OPEN
+    start_ms: float = 0.0
+    end_ms: float = 0.0
+
+    transactions: Dict[int, TransactionRecord] = field(default_factory=dict)
+    committed_txn_ids: List[int] = field(default_factory=list)
+    aborted_txn_ids: List[int] = field(default_factory=list)
+
+    read_batches_dispatched: int = 0
+    physical_read_keys: List[List[str]] = field(default_factory=list)
+    write_batch_keys: List[str] = field(default_factory=list)
+
+    def admit(self, txn: TransactionRecord) -> None:
+        if self.phase is not EpochPhase.OPEN:
+            raise ValueError(f"epoch {self.epoch_id} is {self.phase.value}; cannot admit")
+        self.transactions[txn.txn_id] = txn
+
+    def record_read_batch(self, physical_keys: List[str]) -> None:
+        self.read_batches_dispatched += 1
+        self.physical_read_keys.append(list(physical_keys))
+
+    def finish(self, phase: EpochPhase, now_ms: float) -> None:
+        if phase not in (EpochPhase.COMMITTED, EpochPhase.ABORTED):
+            raise ValueError("an epoch finishes either committed or aborted")
+        self.phase = phase
+        self.end_ms = now_ms
+
+    @property
+    def duration_ms(self) -> float:
+        return max(0.0, self.end_ms - self.start_ms)
+
+    def committed_count(self) -> int:
+        return len(self.committed_txn_ids)
+
+    def aborted_count(self) -> int:
+        return len(self.aborted_txn_ids)
+
+
+@dataclass
+class EpochSummary:
+    """Immutable digest of a finished epoch, kept for metrics."""
+
+    epoch_id: int
+    phase: EpochPhase
+    duration_ms: float
+    committed: int
+    aborted: int
+    physical_reads: int
+    physical_writes: int
+
+    @classmethod
+    def from_state(cls, state: EpochState, physical_reads: int,
+                   physical_writes: int) -> "EpochSummary":
+        return cls(
+            epoch_id=state.epoch_id,
+            phase=state.phase,
+            duration_ms=state.duration_ms,
+            committed=state.committed_count(),
+            aborted=state.aborted_count(),
+            physical_reads=physical_reads,
+            physical_writes=physical_writes,
+        )

@@ -1,0 +1,586 @@
+"""The Obladi proxy.
+
+This is the trusted component of Figure 4: it admits transactions, runs
+MVTSO concurrency control over an epoch-scoped version cache, schedules ORAM
+reads into the epoch's fixed read batches, buffers writes, and at the end of
+each epoch commits the survivors, writes back the final values, flushes the
+buffered ORAM bucket rewrites, and checkpoints its metadata for durability.
+
+Transactions are generator programs (see :mod:`repro.core.client`).  The
+proxy executes an epoch in *rounds*: in round ``r`` it advances every
+runnable transaction until it blocks on an ORAM fetch, dispatches read batch
+``r``, installs the fetched base values in the version cache, and resumes
+the blocked transactions in the next round.  Transactions that need more
+rounds than the epoch has read batches — or that find every remaining batch
+full — abort, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, Iterable, List, Optional, Sequence, Union
+
+from repro.concurrency.mvtso import MVTSOManager, WriteConflictError
+from repro.concurrency.transaction import (AbortReason, CommittedTransaction,
+                                           TransactionRecord, TransactionStatus)
+from repro.core.batch_manager import BatchManager
+from repro.core.client import (AbortRequest, Read, ReadMany, Transaction, TransactionAborted,
+                               TransactionProgram, TransactionResult, Write)
+from repro.core.config import ObladiConfig
+from repro.core.data_handler import DataHandler, KeyDirectory
+from repro.core.epoch import EpochPhase, EpochState, EpochSummary
+from repro.core.errors import BatchFullError, ProxyCrashedError
+from repro.core.version_cache import VersionCache
+from repro.oram.batch_executor import EpochBatchExecutor
+from repro.oram.crypto import CipherSuite
+from repro.oram.ring_oram import RingOram
+from repro.sim.clock import SimClock
+from repro.storage.memory import InMemoryStorageServer
+
+
+@dataclass
+class _ActiveTransaction:
+    """Book-keeping for one transaction while its epoch is running."""
+
+    record: TransactionRecord
+    generator: Generator
+    program: TransactionProgram
+    waiting_keys: List[str] = field(default_factory=list)
+    waiting_multi: bool = False
+    pending_value: object = None
+    has_pending_value: bool = False
+    finished: bool = False
+    return_value: object = None
+    started: bool = False
+
+    @property
+    def waiting(self) -> bool:
+        return bool(self.waiting_keys)
+
+
+class ObladiProxy:
+    """Trusted proxy providing serializable, oblivious transactions."""
+
+    def __init__(self, config: Optional[ObladiConfig] = None,
+                 storage: Optional[InMemoryStorageServer] = None,
+                 clock: Optional[SimClock] = None,
+                 recovery_manager=None,
+                 master_key: Optional[bytes] = None) -> None:
+        self.config = config if config is not None else ObladiConfig()
+        self.clock = clock if clock is not None else SimClock()
+        if storage is None:
+            storage = InMemoryStorageServer(latency=self.config.backend, clock=self.clock,
+                                            charge_latency=False)
+        self.storage = storage
+        # The proxy computes batch timings itself from the dependency-aware
+        # schedule, so the raw backend must not double-charge latency.
+        self.storage.charge_latency = False
+        self.storage.clock = self.clock
+
+        # The master key is the one secret that persists across proxy crashes;
+        # every other key (ORAM blocks, WAL, checkpoints) is derived from it.
+        import os as _os
+        from repro.recovery.manager import derive_key
+        self.master_key = master_key if master_key is not None else _os.urandom(32)
+
+        params = self.config.oram.to_parameters()
+        self.cipher = CipherSuite(key=derive_key(self.master_key, "oram-block"),
+                                  block_size=params.block_size + 8,
+                                  enabled=self.config.encrypt)
+        self.oram = RingOram(params, self.storage, cipher=self.cipher, clock=self.clock,
+                             cost_model=self.config.cost_model, seed=self.config.seed,
+                             dummiless_writes=self.config.dummiless_writes)
+        self.executor = EpochBatchExecutor(self.oram, latency=self.config.backend,
+                                           parallelism=self.config.parallelism,
+                                           cost_model=self.config.cost_model,
+                                           buffer_writes=self.config.buffer_writes)
+        self.data_handler = DataHandler(self.oram, self.executor)
+        self.mvtso = MVTSOManager()
+        self.batch_manager = BatchManager(self.config.read_batches,
+                                          self.config.read_batch_size,
+                                          self.config.write_batch_size)
+
+        self.recovery = recovery_manager
+        if self.recovery is None and self.config.durability:
+            from repro.recovery.manager import RecoveryManager
+            self.recovery = RecoveryManager(storage=self.storage, clock=self.clock,
+                                            config=self.config, master_key=self.master_key)
+
+        self._queue: List[_ActiveTransaction] = []
+        self._epoch_counter = 0
+        self._crashed = False
+        # Timestamp of the latest committed writer per key, across epochs.
+        # Used only to annotate read sets with their version provenance so
+        # that committed histories can be checked for serializability.
+        self._last_writer_ts: Dict[str, int] = {}
+
+        self.results: Dict[int, TransactionResult] = {}
+        self.committed_history: List[CommittedTransaction] = []
+        self.epoch_summaries: List[EpochSummary] = []
+        self.stats_committed = 0
+        self.stats_aborted = 0
+
+    # ------------------------------------------------------------------ #
+    # Public client API
+    # ------------------------------------------------------------------ #
+    def submit(self, program: Union[TransactionProgram, Generator]) -> int:
+        """Queue a transaction program for the next epoch; returns its id.
+
+        ``program`` is either a zero-argument callable returning a generator
+        or a generator object.  The transaction's timestamp (serialization
+        order) is assigned when its epoch starts.
+        """
+        self._check_alive()
+        generator = program() if callable(program) else program
+        if not hasattr(generator, "send"):
+            raise TypeError("transaction programs must be generator functions")
+        placeholder = TransactionRecord(txn_id=-1, timestamp=-1, epoch=-1,
+                                        start_time_ms=self.clock.now_ms)
+        active = _ActiveTransaction(record=placeholder, generator=generator,
+                                    program=program)
+        self._queue.append(active)
+        return len(self._queue) - 1
+
+    def execute_transaction(self, program: Union[TransactionProgram, Generator]
+                            ) -> TransactionResult:
+        """Submit a single transaction and run one epoch to completion."""
+        self.submit(program)
+        summary = self.run_epoch()
+        del summary
+        txn_id = max(self.results)
+        return self.results[txn_id]
+
+    def transaction(self) -> Transaction:
+        """Interactive transaction façade (see the quickstart example)."""
+        return Transaction(submit=self.execute_transaction, read_now=self._read_only)
+
+    def _read_only(self, key: str) -> Optional[bytes]:
+        """Read a single committed value through a one-off read-only epoch."""
+
+        def program():
+            value = yield Read(key)
+            return value
+
+        result = self.execute_transaction(program)
+        return result.return_value if result.committed else None
+
+    def load_initial_data(self, items: Dict[str, bytes]) -> None:
+        """Bulk-load a dataset before serving transactions.
+
+        Values are placed directly into the ORAM tree (see
+        :meth:`repro.oram.ring_oram.RingOram.bulk_load`) and the key
+        directory learns their block ids.
+        """
+        self._check_alive()
+        blocks = {self.data_handler.directory.block_id(key): value
+                  for key, value in items.items()}
+        self.oram.bulk_load(blocks)
+        if self.recovery is not None:
+            self._checkpoint(full=True)
+
+    # ------------------------------------------------------------------ #
+    # Epoch execution
+    # ------------------------------------------------------------------ #
+    def pending_transactions(self) -> int:
+        return len(self._queue)
+
+    def run_epoch(self, max_transactions: Optional[int] = None) -> EpochSummary:
+        """Execute one epoch over the queued transactions.
+
+        Returns a summary.  Raises :class:`ProxyCrashedError` if the proxy
+        has crashed and has not been recovered.
+        """
+        self._check_alive()
+        epoch_id = self._epoch_counter
+        self._epoch_counter += 1
+        state = EpochState(epoch_id=epoch_id, start_ms=self.clock.now_ms)
+
+        self.data_handler.begin_epoch()
+        self.batch_manager.reset_epoch()
+        reads_before = self.executor.lifetime_stats.physical_reads
+        writes_before = self.executor.lifetime_stats.physical_writes
+
+        # Admission: transactions waiting in the queue join this epoch.
+        admitted: List[_ActiveTransaction] = []
+        take = len(self._queue) if max_transactions is None else min(max_transactions,
+                                                                     len(self._queue))
+        for active in self._queue[:take]:
+            record = self.mvtso.begin(epoch_id, now_ms=active.record.start_time_ms)
+            record.start_time_ms = active.record.start_time_ms
+            active.record = record
+            state.admit(record)
+            admitted.append(active)
+        self._queue = self._queue[take:]
+
+        epoch_start_ms = self.clock.now_ms
+        # Round-based execution: one round per read batch.
+        for round_index in range(self.config.read_batches):
+            self._advance_transactions(admitted, state)
+            batch = self.batch_manager.dispatch_next()
+            if batch is None:
+                break
+            if self.recovery is not None:
+                self.recovery.log_read_batch(epoch_id, batch.index, batch.keys,
+                                             self.config.read_batch_size)
+            self.data_handler.execute_read_batch(batch.keys, self.config.read_batch_size)
+            state.record_read_batch(batch.keys)
+            self._deliver_values(admitted)
+            # Batches are dispatched at fixed intervals; if the batch finished
+            # early the proxy waits for the next boundary.
+            boundary = epoch_start_ms + (round_index + 1) * self.config.batch_interval_ms
+            self.clock.advance_to(boundary)
+
+        # Give transactions one final chance to consume the last batch's
+        # values and issue their remaining writes.
+        self._advance_transactions(admitted, state, final_round=True)
+
+        self._finalize_epoch(admitted, state)
+
+        physical_reads = self.executor.lifetime_stats.physical_reads - reads_before
+        physical_writes = self.executor.lifetime_stats.physical_writes - writes_before
+        summary = EpochSummary.from_state(state, physical_reads, physical_writes)
+        self.epoch_summaries.append(summary)
+        return summary
+
+    def run_until_drained(self, max_epochs: int = 1000) -> List[EpochSummary]:
+        """Run epochs until the queue is empty (bounded by ``max_epochs``)."""
+        summaries = []
+        while self._queue and len(summaries) < max_epochs:
+            summaries.append(self.run_epoch())
+        return summaries
+
+    # ------------------------------------------------------------------ #
+    # Transaction stepping
+    # ------------------------------------------------------------------ #
+    def _advance_transactions(self, admitted: List[_ActiveTransaction], state: EpochState,
+                              final_round: bool = False) -> None:
+        """Advance every runnable transaction until it blocks, finishes or aborts."""
+        progress = True
+        while progress:
+            progress = False
+            for active in admitted:
+                if active.finished or active.record.is_finished or active.waiting:
+                    continue
+                stepped = self._step_transaction(active, state, final_round)
+                progress = progress or stepped
+
+    def _step_transaction(self, active: _ActiveTransaction, state: EpochState,
+                          final_round: bool) -> bool:
+        """Run one transaction until it blocks/finishes/aborts.  Returns True if it advanced."""
+        advanced = False
+        while True:
+            try:
+                if not active.started:
+                    active.started = True
+                    operation = active.generator.send(None)
+                elif active.has_pending_value:
+                    value = active.pending_value
+                    active.pending_value = None
+                    active.has_pending_value = False
+                    operation = active.generator.send(value)
+                else:
+                    # Nothing to feed: the transaction is at its first step of
+                    # this round (writes do not block, reads set pending).
+                    operation = active.generator.send(None)
+            except StopIteration as stop:
+                active.finished = True
+                active.return_value = getattr(stop, "value", None)
+                active.record.request_commit()
+                return True
+            except TransactionAborted:
+                self._abort(active, AbortReason.USER)
+                return True
+
+            advanced = True
+            if isinstance(operation, Write):
+                if not self._apply_write(active, operation):
+                    return True
+                active.has_pending_value = True
+                active.pending_value = None
+                continue
+            if isinstance(operation, AbortRequest):
+                self._abort(active, AbortReason.USER)
+                return True
+            if isinstance(operation, (Read, ReadMany)):
+                keys = [operation.key] if isinstance(operation, Read) else list(operation.keys)
+                values: Dict[str, Optional[bytes]] = {}
+                missing: List[str] = []
+                for key in keys:
+                    served, value = self._try_serve_read(active, key)
+                    if served:
+                        values[key] = value
+                    else:
+                        missing.append(key)
+                if not missing:
+                    active.has_pending_value = True
+                    if isinstance(operation, Read):
+                        active.pending_value = values[keys[0]]
+                    else:
+                        active.pending_value = values
+                    continue
+                if final_round:
+                    # No batches left this epoch: the transaction cannot make
+                    # progress and is aborted at the epoch boundary.
+                    self._abort(active, AbortReason.EPOCH_BOUNDARY)
+                    return True
+                try:
+                    for key in missing:
+                        self.batch_manager.schedule_read(key)
+                except BatchFullError:
+                    self._abort(active, AbortReason.BATCH_FULL)
+                    return True
+                active.waiting_keys = keys
+                active.waiting_multi = isinstance(operation, ReadMany)
+                return advanced
+            raise TypeError(f"transaction yielded unsupported operation {operation!r}")
+
+    def _apply_write(self, active: _ActiveTransaction, operation: Write) -> bool:
+        """Apply a write through MVTSO; aborts the transaction on conflict."""
+        try:
+            self.mvtso.write(active.record, operation.key, bytes(operation.value))
+            return True
+        except WriteConflictError:
+            self._abort(active, AbortReason.WRITE_CONFLICT)
+            return False
+
+    def _record_base_read(self, active: _ActiveTransaction, key: str) -> None:
+        """Annotate a read served from pre-epoch state with its provenance.
+
+        The value came from the ORAM (or the stash), i.e. from the latest
+        committed writer of an earlier epoch.  MVTSO recorded the read marker
+        already; here we fix up the read-set entry so committed histories can
+        be checked for serializability.
+        """
+        active.record.read_set[key] = self._last_writer_ts.get(key, -1)
+
+    def _try_serve_read(self, active: _ActiveTransaction, key: str):
+        """Serve a read from the version cache / stash if possible.
+
+        Returns ``(served, value)``.  When ``served`` is False the read needs
+        an ORAM batch slot.
+        """
+        cache = self.data_handler.cache
+        chain = cache.store.get_chain(key)
+        has_epoch_version = chain is not None and chain.latest_visible(
+            active.record.timestamp) is not None
+        if has_epoch_version:
+            value, _writer = self.mvtso.read(active.record, key)
+            return True, value
+        if self.data_handler.has_cached(key):
+            self.mvtso.read(active.record, key)          # records marker, finds nothing
+            self._record_base_read(active, key)
+            return True, cache.base_value(key)
+        if self.config.cache_stash_reads and self.data_handler.stash_resident(key):
+            value = self.data_handler.stash_value(key)
+            cache.install_base(key, value)
+            self.mvtso.read(active.record, key)
+            self._record_base_read(active, key)
+            return True, value
+        return False, None
+
+    def _deliver_values(self, admitted: List[_ActiveTransaction]) -> None:
+        """Unblock transactions whose awaited keys were fetched by the last batch."""
+        for active in admitted:
+            if not active.waiting or active.record.is_finished:
+                continue
+
+            def _available(key: str) -> bool:
+                if self.data_handler.has_cached(key):
+                    return True
+                chain = self.data_handler.cache.store.get_chain(key)
+                return (chain is not None
+                        and chain.latest_visible(active.record.timestamp) is not None)
+
+            if not all(_available(key) for key in active.waiting_keys):
+                continue
+            values: Dict[str, Optional[bytes]] = {}
+            for key in active.waiting_keys:
+                value, _writer = self.mvtso.read(active.record, key)
+                if value is None:
+                    value = self.data_handler.cached_value(key)
+                    self._record_base_read(active, key)
+                values[key] = value
+            if active.waiting_multi:
+                active.pending_value = values
+            else:
+                active.pending_value = values[active.waiting_keys[0]]
+            active.waiting_keys = []
+            active.waiting_multi = False
+            active.has_pending_value = True
+
+    def _abort(self, active: _ActiveTransaction, reason: AbortReason) -> None:
+        """Abort a transaction and everything that depends on it."""
+        if active.record.is_finished:
+            return
+        self.mvtso.abort(active.record, reason, now_ms=self.clock.now_ms)
+        active.finished = True
+        active.waiting_keys = []
+        active.generator.close()
+
+    # ------------------------------------------------------------------ #
+    # Epoch finalisation
+    # ------------------------------------------------------------------ #
+    def _finalize_epoch(self, admitted: List[_ActiveTransaction], state: EpochState) -> None:
+        state.phase = EpochPhase.WRITE_BACK
+        now = self.clock.now_ms
+
+        # Abort every transaction that is still unfinished (epoch boundary).
+        for active in admitted:
+            if not active.finished and not active.record.is_finished:
+                self._abort(active, AbortReason.EPOCH_BOUNDARY)
+
+        # Commit survivors in timestamp order, skipping cascaded aborts.
+        for active in sorted(admitted, key=lambda a: a.record.timestamp):
+            record = active.record
+            if record.status is TransactionStatus.ABORTED:
+                continue
+            if record.status is not TransactionStatus.COMMIT_REQUESTED:
+                self.mvtso.abort(record, AbortReason.EPOCH_BOUNDARY, now_ms=now)
+                continue
+            if not self.mvtso.can_commit(record):
+                self.mvtso.abort(record, AbortReason.CASCADE, now_ms=now)
+
+        # The write batch may overflow; shed the youngest writers until it fits.
+        write_back = self._collect_write_back(admitted)
+        while True:
+            try:
+                batch_items = self.batch_manager.build_write_batch(write_back)
+                break
+            except BatchFullError:
+                victim = self._youngest_committed_writer(admitted)
+                if victim is None:
+                    batch_items = dict(list(write_back.items())[: self.config.write_batch_size])
+                    batch_items = {k: (v if v is not None else b"") for k, v in batch_items.items()}
+                    break
+                self.mvtso.abort(victim.record, AbortReason.BATCH_FULL, now_ms=now)
+                write_back = self._collect_write_back(admitted)
+
+        # Finalise commit status now that the shedding is done.
+        committed_records: List[TransactionRecord] = []
+        for active in sorted(admitted, key=lambda a: a.record.timestamp):
+            record = active.record
+            if record.status is TransactionStatus.COMMIT_REQUESTED and self.mvtso.can_commit(record):
+                self.mvtso.commit(record, now_ms=now)
+                committed_records.append(record)
+
+        write_back = self._collect_write_back(admitted)
+        batch_items = {k: (v if v is not None else b"")
+                       for k, v in sorted(write_back.items())[: self.config.write_batch_size]}
+
+        # Record version provenance for future epochs' reads: the value the
+        # ORAM will return for each key is the one written by the latest
+        # committed writer of this epoch.
+        for active in sorted(admitted, key=lambda a: a.record.timestamp):
+            record = active.record
+            if record.status is not TransactionStatus.COMMITTED:
+                continue
+            for key in record.write_set:
+                if key in batch_items:
+                    self._last_writer_ts[key] = record.timestamp
+
+        self.data_handler.execute_write_batch(batch_items, self.config.write_batch_size)
+        state.write_batch_keys = sorted(batch_items)
+        self.data_handler.flush()
+
+        # Durability: the epoch is committed only once its metadata is logged.
+        if self.recovery is not None:
+            self._checkpoint(full=(state.epoch_id % self.config.checkpoint_frequency == 0))
+
+        end_ms = self.clock.now_ms
+        state.finish(EpochPhase.COMMITTED, end_ms)
+
+        # Client notification.
+        for active in admitted:
+            record = active.record
+            committed = record.status is TransactionStatus.COMMITTED
+            if committed:
+                record.finish_time_ms = end_ms
+                state.committed_txn_ids.append(record.txn_id)
+                self.stats_committed += 1
+                self.committed_history.append(CommittedTransaction.from_record(record))
+            else:
+                record.finish_time_ms = end_ms
+                state.aborted_txn_ids.append(record.txn_id)
+                self.stats_aborted += 1
+            self.results[record.txn_id] = TransactionResult(
+                txn_id=record.txn_id,
+                committed=committed,
+                return_value=active.return_value if committed else None,
+                abort_reason=record.abort_reason.value if record.abort_reason else None,
+                latency_ms=record.latency_ms(),
+                epoch=state.epoch_id,
+            )
+
+        self.mvtso.reset_epoch_state()
+
+    def _collect_write_back(self, admitted: List[_ActiveTransaction]) -> Dict[str, Optional[bytes]]:
+        """Latest value per key among transactions that are still commit-eligible."""
+        eligible = {}
+        for active in sorted(admitted, key=lambda a: a.record.timestamp):
+            record = active.record
+            if record.status is TransactionStatus.ABORTED:
+                continue
+            for key, value in record.write_set.items():
+                eligible[key] = value
+        return eligible
+
+    def _youngest_committed_writer(self, admitted: List[_ActiveTransaction]
+                                   ) -> Optional[_ActiveTransaction]:
+        """The youngest not-yet-aborted transaction that wrote something."""
+        candidates = [a for a in admitted
+                      if a.record.status is not TransactionStatus.ABORTED and a.record.write_set]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda a: a.record.timestamp)
+
+    # ------------------------------------------------------------------ #
+    # Durability / crash handling
+    # ------------------------------------------------------------------ #
+    def _checkpoint(self, full: bool) -> None:
+        directory = self.data_handler.directory
+        extra = {"key_directory": directory.serialize() if full
+                 else directory.serialize_delta()}
+        self.recovery.checkpoint_epoch(
+            epoch_id=self._epoch_counter - 1,
+            oram=self.oram,
+            pad_position_entries=self.config.position_delta_pad_entries,
+            extra_state=extra,
+            full=full,
+        )
+        directory.clear_dirty()
+
+    def crash(self) -> None:
+        """Simulate a proxy crash: all volatile state is lost."""
+        self._crashed = True
+        self._queue.clear()
+        self.data_handler.abort_epoch()
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def _check_alive(self) -> None:
+        if self._crashed:
+            raise ProxyCrashedError("the proxy has crashed; recover() a new proxy first")
+
+    # ------------------------------------------------------------------ #
+    # Metrics helpers
+    # ------------------------------------------------------------------ #
+    def committed_count(self) -> int:
+        return self.stats_committed
+
+    def aborted_count(self) -> int:
+        return self.stats_aborted
+
+    def throughput_tps(self) -> float:
+        """Committed transactions per simulated second so far."""
+        elapsed_s = self.clock.now_s
+        if elapsed_s <= 0:
+            return 0.0
+        return self.stats_committed / elapsed_s
+
+    def average_latency_ms(self) -> float:
+        latencies = [r.latency_ms for r in self.results.values() if r.committed]
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)

@@ -1,0 +1,550 @@
+"""Experiment implementations: one function per figure/table of §11.
+
+Every function accepts scale parameters so the same code serves both the
+quick benchmark suite (small object counts, few transactions) and fuller
+runs recorded in EXPERIMENTS.md.  All results are in simulated time.
+
+==============  ====================================================
+Figure 9a/9b    :func:`run_end_to_end`
+Figure 10a      :func:`run_parallelism`
+Figure 10b/10c  :func:`run_batch_size_sweep`
+Figure 10d      :func:`run_delayed_visibility`
+Figure 10e      :func:`run_epoch_size_oram`
+Figure 10f      :func:`run_epoch_size_proxy`
+Figure 11a      :func:`run_checkpoint_frequency`
+Table 11b       :func:`run_recovery_table`
+==============  ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.baseline.mysql_like import TwoPhaseLockingStore
+from repro.baseline.nopriv import NoPrivProxy
+from repro.core.config import ObladiConfig, RingOramConfig
+from repro.core.proxy import ObladiProxy
+from repro.oram.batch_executor import EpochBatchExecutor
+from repro.oram.parameters import derive_parameters
+from repro.oram.ring_oram import OramAccess, OramOp, RingOram
+from repro.recovery.manager import recover_proxy
+from repro.sim.clock import SimClock
+from repro.sim.latency import BACKENDS, get_latency_model, wan_variant
+from repro.storage.memory import InMemoryStorageServer
+from repro.workloads.driver import run_baseline_closed_loop, run_obladi_closed_loop
+from repro.workloads.freehealth import FreeHealthConfig, FreeHealthWorkload
+from repro.workloads.smallbank import SmallBankConfig, SmallBankWorkload
+from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+
+# --------------------------------------------------------------------------- #
+# Shared helpers
+# --------------------------------------------------------------------------- #
+DEFAULT_ORAM_OBJECTS = 100_000
+MICROBENCH_Z = 16
+
+
+def _build_executor(num_blocks: int, backend: str, parallelism: int = 1024,
+                    buffer_writes: bool = True, charge_crypto: bool = True,
+                    seed: int = 0):
+    """An ORAM + epoch executor pair sized like the microbenchmarks (§11.2).
+
+    The cipher is disabled (values are irrelevant to these experiments) but
+    the *simulated* crypto cost is charged unless ``charge_crypto`` is False,
+    matching the paper's Parallel vs ParallelCrypto distinction.
+    """
+    clock = SimClock()
+    storage = InMemoryStorageServer(latency=backend, clock=clock, record_trace=False,
+                                    charge_latency=False)
+    params = derive_parameters(num_blocks=num_blocks, z_real=MICROBENCH_Z, block_size=64)
+    from repro.oram.crypto import CipherSuite
+    oram = RingOram(params, storage, cipher=CipherSuite(block_size=72, enabled=False),
+                    clock=clock, seed=seed, dummiless_writes=True)
+    executor = EpochBatchExecutor(oram, latency=backend, parallelism=parallelism,
+                                  buffer_writes=buffer_writes, charge_crypto=charge_crypto)
+    return oram, executor
+
+
+def _workload_objects(name: str, scale: float = 1.0):
+    """Build a workload instance at a fraction of the paper's scale."""
+    if name == "tpcc":
+        # The paper always runs 10 warehouses; scale shrinks the per-district
+        # populations (customers, items) but keeps the contention structure.
+        return TPCCWorkload(TPCCConfig(
+            warehouses=10,
+            districts_per_warehouse=10,
+            customers_per_district=max(3, int(30 * scale)),
+            items=max(20, int(1000 * scale)),
+            seed=7,
+        ))
+    if name == "smallbank":
+        return SmallBankWorkload(SmallBankConfig(
+            num_accounts=max(100, int(10_000 * scale)), seed=7))
+    if name == "freehealth":
+        return FreeHealthWorkload(FreeHealthConfig(
+            num_patients=max(50, int(2000 * scale)),
+            num_drugs=max(20, int(200 * scale)), seed=7))
+    raise KeyError(f"unknown application {name!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Figure 9: end-to-end application performance
+# --------------------------------------------------------------------------- #
+@dataclass
+class EndToEndRow:
+    """One bar of Figures 9a/9b."""
+
+    application: str
+    system: str
+    throughput_tps: float
+    mean_latency_ms: float
+    committed: int
+    aborted: int
+    abort_rate: float
+
+
+#: Systems evaluated in Figure 9 and the storage backend each one uses.
+END_TO_END_SYSTEMS = ("obladi", "nopriv", "mysql", "obladi_wan", "nopriv_wan")
+
+
+def _obladi_config_for(app: str, num_blocks: int, backend: str,
+                       encrypt: bool, clients: int = 16) -> ObladiConfig:
+    """Configure Obladi for an application the way §6.4 prescribes.
+
+    Batch sizes are provisioned from the expected concurrent load: the read
+    capacity must cover each client's reads per round and the write batch the
+    epoch's committed write set.  TPC-C gets deep epochs and a large write
+    batch; FreeHealth a small write batch; SmallBank shallow epochs.
+    """
+    oram = RingOramConfig(num_blocks=num_blocks, z_real=32, block_size=384)
+    per_round_reads = {"tpcc": 12, "smallbank": 3, "freehealth": 4, "ycsb": 4}
+    writes_per_txn = {"tpcc": 14, "smallbank": 2, "freehealth": 2, "ycsb": 2}
+    profile = app if app in per_round_reads else "ycsb"
+    read_batch = max(32, clients * per_round_reads[profile])
+    write_batch = max(32, clients * writes_per_txn[profile])
+    return ObladiConfig.for_workload(profile, num_blocks=num_blocks, backend=backend,
+                                     oram=oram, durability=True, encrypt=encrypt,
+                                     checkpoint_frequency=8,
+                                     read_batch_size=read_batch,
+                                     write_batch_size=write_batch)
+
+
+def run_end_to_end(applications: Sequence[str] = ("tpcc", "freehealth", "smallbank"),
+                   systems: Sequence[str] = END_TO_END_SYSTEMS,
+                   transactions: int = 256, clients: int = 64, scale: float = 0.1,
+                   encrypt: bool = False, seed: int = 7) -> List[EndToEndRow]:
+    """Figure 9a/9b: throughput and latency of every system on every application.
+
+    ``scale`` shrinks the database populations relative to the paper (whose
+    EC2 deployment used full TPC-C scale and one million SmallBank accounts);
+    the relative ordering of the systems is what the experiment reproduces.
+    """
+    rows: List[EndToEndRow] = []
+    for app in applications:
+        for system in systems:
+            workload = _workload_objects(app, scale)
+            data = workload.initial_data()
+            wan = system.endswith("_wan")
+            backend = "server_wan" if wan else "server"
+            rng = random.Random(seed)
+            del rng
+
+            if system.startswith("obladi"):
+                config = _obladi_config_for(app, num_blocks=max(len(data) * 2, 2048),
+                                            backend=backend, encrypt=encrypt, clients=clients)
+                proxy = ObladiProxy(config)
+                proxy.load_initial_data(data)
+                run = run_obladi_closed_loop(proxy, workload.transaction_factory,
+                                             total_transactions=transactions,
+                                             clients=clients)
+            elif system.startswith("nopriv"):
+                baseline = NoPrivProxy(backend=backend)
+                baseline.load_initial_data(data)
+                run = run_baseline_closed_loop(baseline, workload.transaction_factory,
+                                               total_transactions=transactions,
+                                               clients=clients)
+            elif system == "mysql":
+                baseline = TwoPhaseLockingStore(backend="server")
+                baseline.load_initial_data(data)
+                run = run_baseline_closed_loop(baseline, workload.transaction_factory,
+                                               total_transactions=transactions,
+                                               clients=clients)
+            else:
+                raise KeyError(f"unknown system {system!r}")
+
+            rows.append(EndToEndRow(
+                application=app,
+                system=system,
+                throughput_tps=run.throughput_tps,
+                mean_latency_ms=run.average_latency_ms,
+                committed=run.committed,
+                aborted=run.aborted,
+                abort_rate=run.abort_rate,
+            ))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10a: parallelism
+# --------------------------------------------------------------------------- #
+@dataclass
+class ParallelismRow:
+    """One bar of Figure 10a (throughput of a 500-op batch)."""
+
+    backend: str
+    mode: str                    # sequential / parallel / parallel_crypto
+    throughput_ops_per_s: float
+    elapsed_ms: float
+
+
+def _run_sequential_ops(num_blocks: int, backend: str, operations: int,
+                        charge_crypto: bool, seed: int = 0) -> float:
+    """Simulated duration of ``operations`` sequential Ring ORAM accesses."""
+    clock = SimClock()
+    storage = InMemoryStorageServer(latency=backend, clock=clock, record_trace=False,
+                                    charge_latency=True)
+    params = derive_parameters(num_blocks=num_blocks, z_real=MICROBENCH_Z, block_size=64)
+    from repro.oram.crypto import CipherSuite
+    oram = RingOram(params, storage,
+                    cipher=CipherSuite(block_size=72, enabled=False),
+                    clock=clock, seed=seed, charge_crypto=charge_crypto)
+    rng = random.Random(seed)
+    start = clock.now_ms
+    for _ in range(operations):
+        block = rng.randrange(num_blocks)
+        oram.access(OramAccess(OramOp.READ, block))
+    return clock.now_ms - start
+
+
+def _run_parallel_ops(num_blocks: int, backend: str, operations: int, batch_size: int,
+                      charge_crypto: bool, buffer_writes: bool = True,
+                      batches_per_epoch: int = 1, seed: int = 0) -> float:
+    """Simulated duration of ``operations`` accesses through the epoch executor."""
+    oram, executor = _build_executor(num_blocks, backend, charge_crypto=charge_crypto,
+                                     buffer_writes=buffer_writes, seed=seed)
+    rng = random.Random(seed)
+    clock = oram.clock
+    start = clock.now_ms
+    remaining = operations
+    while remaining > 0:
+        executor.begin_epoch()
+        for _ in range(batches_per_epoch):
+            if remaining <= 0:
+                break
+            count = min(batch_size, remaining)
+            block_ids = [rng.randrange(num_blocks) for _ in range(count)]
+            executor.execute_read_batch(block_ids, batch_size=count)
+            remaining -= count
+        executor.flush_epoch()
+    return clock.now_ms - start
+
+
+def run_parallelism(backends: Sequence[str] = ("dummy", "server", "server_wan", "dynamo"),
+                    batch_size: int = 500, operations: int = 500,
+                    num_blocks: int = DEFAULT_ORAM_OBJECTS,
+                    modes: Sequence[str] = ("sequential", "parallel", "parallel_crypto"),
+                    ) -> List[ParallelismRow]:
+    """Figure 10a: sequential vs parallel ORAM throughput per backend."""
+    rows: List[ParallelismRow] = []
+    for backend in backends:
+        for mode in modes:
+            if mode == "sequential":
+                elapsed = _run_sequential_ops(num_blocks, backend, operations,
+                                              charge_crypto=True)
+            elif mode == "parallel":
+                elapsed = _run_parallel_ops(num_blocks, backend, operations, batch_size,
+                                            charge_crypto=False)
+            elif mode == "parallel_crypto":
+                elapsed = _run_parallel_ops(num_blocks, backend, operations, batch_size,
+                                            charge_crypto=True)
+            else:
+                raise KeyError(f"unknown mode {mode!r}")
+            throughput = operations * 1000.0 / elapsed if elapsed > 0 else float("inf")
+            rows.append(ParallelismRow(backend=backend, mode=mode,
+                                       throughput_ops_per_s=throughput,
+                                       elapsed_ms=elapsed))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figures 10b/10c: batch size sweep
+# --------------------------------------------------------------------------- #
+@dataclass
+class BatchSizeRow:
+    """One point of Figures 10b (throughput) and 10c (latency)."""
+
+    backend: str
+    batch_size: int
+    throughput_ops_per_s: float
+    latency_ms: float
+
+
+def run_batch_size_sweep(backends: Sequence[str] = ("dummy", "server", "server_wan", "dynamo"),
+                         batch_sizes: Sequence[int] = (1, 10, 100, 500, 1000, 2000),
+                         num_blocks: int = DEFAULT_ORAM_OBJECTS,
+                         min_operations: int = 600) -> List[BatchSizeRow]:
+    """Figures 10b/10c: throughput and latency vs batch size.
+
+    Each configuration executes at least ``min_operations`` logical reads so
+    the deterministic eviction work is represented in every data point (a
+    single tiny batch would otherwise dodge evictions entirely and look
+    artificially fast); latency is the average duration of one batch
+    (dispatch to flush).
+    """
+    rows: List[BatchSizeRow] = []
+    for backend in backends:
+        for batch_size in batch_sizes:
+            oram, executor = _build_executor(num_blocks, backend, charge_crypto=True)
+            rng = random.Random(1)
+            clock = oram.clock
+            batches = max(1, -(-min_operations // batch_size))
+            total_ops = 0
+            start = clock.now_ms
+            for _ in range(batches):
+                executor.begin_epoch()
+                block_ids = [rng.randrange(num_blocks) for _ in range(batch_size)]
+                executor.execute_read_batch(block_ids, batch_size=batch_size)
+                executor.flush_epoch()
+                total_ops += batch_size
+            elapsed = clock.now_ms - start
+            latency = elapsed / batches
+            throughput = total_ops * 1000.0 / elapsed if elapsed > 0 else float("inf")
+            rows.append(BatchSizeRow(backend=backend, batch_size=batch_size,
+                                     throughput_ops_per_s=throughput, latency_ms=latency))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10d: delayed visibility (write buffering)
+# --------------------------------------------------------------------------- #
+@dataclass
+class DelayedVisibilityRow:
+    """One bar pair of Figure 10d."""
+
+    backend: str
+    mode: str                    # "normal" (immediate write-back) or "write_back"
+    throughput_ops_per_s: float
+
+
+def run_delayed_visibility(backends: Sequence[str] = ("dummy", "server", "server_wan", "dynamo"),
+                           batch_size: int = 200, batches_per_epoch: int = 8,
+                           num_blocks: int = DEFAULT_ORAM_OBJECTS) -> List[DelayedVisibilityRow]:
+    """Figure 10d: effect of buffering bucket writes until the epoch ends."""
+    operations = batch_size * batches_per_epoch
+    rows: List[DelayedVisibilityRow] = []
+    for backend in backends:
+        for mode, buffer_writes in (("normal", False), ("write_back", True)):
+            elapsed = _run_parallel_ops(num_blocks, backend, operations, batch_size,
+                                        charge_crypto=True, buffer_writes=buffer_writes,
+                                        batches_per_epoch=batches_per_epoch)
+            throughput = operations * 1000.0 / elapsed if elapsed > 0 else float("inf")
+            rows.append(DelayedVisibilityRow(backend=backend, mode=mode,
+                                             throughput_ops_per_s=throughput))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10e: epoch size impact on the ORAM
+# --------------------------------------------------------------------------- #
+@dataclass
+class EpochSizeOramRow:
+    """One point of Figure 10e (relative throughput vs batches per epoch)."""
+
+    backend: str
+    batches_per_epoch: int
+    throughput_ops_per_s: float
+    relative_increase: float
+
+
+def run_epoch_size_oram(backends: Sequence[str] = ("dummy", "server", "server_wan", "dynamo"),
+                        batch_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+                        batch_size: int = 200,
+                        num_blocks: int = DEFAULT_ORAM_OBJECTS) -> List[EpochSizeOramRow]:
+    """Figure 10e: larger epochs buffer more buckets locally and reduce I/O."""
+    rows: List[EpochSizeOramRow] = []
+    for backend in backends:
+        base_throughput: Optional[float] = None
+        for batches in batch_counts:
+            operations = batch_size * batches * 2
+            elapsed = _run_parallel_ops(num_blocks, backend, operations, batch_size,
+                                        charge_crypto=True, buffer_writes=True,
+                                        batches_per_epoch=batches)
+            throughput = operations * 1000.0 / elapsed if elapsed > 0 else float("inf")
+            if base_throughput is None:
+                base_throughput = throughput
+            rows.append(EpochSizeOramRow(
+                backend=backend, batches_per_epoch=batches,
+                throughput_ops_per_s=throughput,
+                relative_increase=throughput / base_throughput if base_throughput else 1.0))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10f: epoch size impact on the proxy (applications)
+# --------------------------------------------------------------------------- #
+@dataclass
+class EpochSizeProxyRow:
+    """One point of Figure 10f."""
+
+    application: str
+    epoch_ms: float
+    read_batches: int
+    throughput_tps: float
+    abort_rate: float
+
+
+def run_epoch_size_proxy(applications: Sequence[str] = ("smallbank", "freehealth", "tpcc"),
+                         epoch_sizes_ms: Sequence[float] = (25, 50, 75, 100, 125, 150),
+                         batch_interval_ms: float = 25.0,
+                         transactions: int = 80, clients: int = 12,
+                         scale: float = 0.05, encrypt: bool = False) -> List[EpochSizeProxyRow]:
+    """Figure 10f: application throughput as a function of the epoch length.
+
+    The epoch length maps to the number of read batches it contains
+    (``epoch_ms / batch_interval_ms``): epochs too short abort transactions
+    that need more rounds; epochs too long leave the proxy idle.
+    """
+    rows: List[EpochSizeProxyRow] = []
+    for app in applications:
+        for epoch_ms in epoch_sizes_ms:
+            read_batches = max(1, int(round(epoch_ms / batch_interval_ms)))
+            workload = _workload_objects(app, scale)
+            data = workload.initial_data()
+            config = _obladi_config_for(app, num_blocks=max(len(data) * 2, 2048),
+                                        backend="server", encrypt=encrypt, clients=clients)
+            from dataclasses import replace
+            config = replace(config, read_batches=read_batches,
+                             batch_interval_ms=batch_interval_ms, durability=False)
+            proxy = ObladiProxy(config)
+            proxy.load_initial_data(data)
+            run = run_obladi_closed_loop(proxy, workload.transaction_factory,
+                                         total_transactions=transactions, clients=clients)
+            rows.append(EpochSizeProxyRow(application=app, epoch_ms=epoch_ms,
+                                          read_batches=read_batches,
+                                          throughput_tps=run.throughput_tps,
+                                          abort_rate=run.abort_rate))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 11a: checkpoint frequency
+# --------------------------------------------------------------------------- #
+@dataclass
+class CheckpointFrequencyRow:
+    """One point of Figure 11a."""
+
+    backend: str
+    checkpoint_frequency: int
+    throughput_ops_per_s: float
+
+
+def run_checkpoint_frequency(frequencies: Sequence[int] = (1, 4, 16, 64, 256),
+                             backends: Sequence[str] = ("server", "server_wan", "dynamo"),
+                             num_records: int = 2000, transactions: int = 60,
+                             clients: int = 12, ops_per_transaction: int = 4
+                             ) -> List[CheckpointFrequencyRow]:
+    """Figure 11a: delta checkpoints amortise the cost of durability."""
+    rows: List[CheckpointFrequencyRow] = []
+    for backend in backends:
+        for frequency in frequencies:
+            ycsb = YCSBWorkload(YCSBConfig(num_records=num_records,
+                                           ops_per_transaction=ops_per_transaction, seed=3))
+            data = ycsb.initial_data()
+            config = ObladiConfig.for_workload("ycsb", num_blocks=num_records * 2,
+                                               backend=backend,
+                                               oram=RingOramConfig(num_blocks=num_records * 2,
+                                                                   z_real=32, block_size=192),
+                                               durability=True, encrypt=False,
+                                               checkpoint_frequency=frequency,
+                                               read_batch_size=clients * ops_per_transaction,
+                                               write_batch_size=clients * ops_per_transaction)
+            proxy = ObladiProxy(config)
+            proxy.load_initial_data(data)
+            run = run_obladi_closed_loop(proxy, ycsb.transaction_factory,
+                                         total_transactions=transactions, clients=clients)
+            ops = run.committed * ops_per_transaction
+            tput = ops * 1000.0 / run.elapsed_ms if run.elapsed_ms > 0 else 0.0
+            rows.append(CheckpointFrequencyRow(backend=backend, checkpoint_frequency=frequency,
+                                               throughput_ops_per_s=tput))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Table 11b: recovery
+# --------------------------------------------------------------------------- #
+@dataclass
+class RecoveryRow:
+    """One column of Table 11b."""
+
+    num_objects: int
+    tree_levels: int
+    durability_slowdown: float
+    recovery_time_ms: float
+    network_ms: float
+    position_ms: float
+    permutation_ms: float
+    paths_ms: float
+
+
+def _ycsb_obladi_run(num_records: int, durability: bool, backend: str,
+                     transactions: int, clients: int, checkpoint_frequency: int = 4):
+    ycsb = YCSBWorkload(YCSBConfig(num_records=num_records, ops_per_transaction=4, seed=5))
+    data = ycsb.initial_data()
+    config = ObladiConfig.for_workload("ycsb", num_blocks=num_records * 2, backend=backend,
+                                       oram=RingOramConfig(num_blocks=num_records * 2,
+                                                           z_real=32, block_size=192),
+                                       durability=durability, encrypt=False,
+                                       checkpoint_frequency=checkpoint_frequency,
+                                       read_batch_size=clients * 4,
+                                       write_batch_size=clients * 4)
+    proxy = ObladiProxy(config)
+    proxy.load_initial_data(data)
+    run = run_obladi_closed_loop(proxy, ycsb.transaction_factory,
+                                 total_transactions=transactions, clients=clients)
+    return proxy, config, run
+
+
+def run_recovery_table(sizes: Sequence[int] = (1_000, 10_000, 100_000),
+                       backend: str = "server_wan", transactions: int = 40,
+                       clients: int = 10) -> List[RecoveryRow]:
+    """Table 11b: durability slowdown and recovery-time breakdown vs ORAM size."""
+    rows: List[RecoveryRow] = []
+    for size in sizes:
+        # Normal-execution slowdown: with vs without durability.
+        _proxy_off, _cfg, run_off = _ycsb_obladi_run(size, durability=False, backend=backend,
+                                                     transactions=transactions, clients=clients)
+        proxy_on, config_on, run_on = _ycsb_obladi_run(size, durability=True, backend=backend,
+                                                       transactions=transactions, clients=clients)
+        slowdown = (run_on.throughput_tps / run_off.throughput_tps
+                    if run_off.throughput_tps > 0 else 0.0)
+
+        # Crash the durable proxy mid-epoch and recover it.
+        ycsb = YCSBWorkload(YCSBConfig(num_records=size, ops_per_transaction=4, seed=11))
+        for _ in range(clients):
+            proxy_on.submit(ycsb.transaction_factory())
+        from repro.core.errors import ProxyCrashedError
+        from repro.recovery.crash import CrashInjector, CrashPoint
+        injector = CrashInjector(proxy_on, crash_after_batches=0,
+                                 point=CrashPoint.AFTER_READ_BATCH)
+        injector.arm()
+        try:
+            proxy_on.run_epoch()
+        except ProxyCrashedError:
+            pass
+        _recovered, result = recover_proxy(proxy_on.storage, config_on,
+                                           master_key=proxy_on.master_key)
+        levels = proxy_on.oram.params.depth
+        rows.append(RecoveryRow(
+            num_objects=size,
+            tree_levels=levels,
+            durability_slowdown=slowdown,
+            recovery_time_ms=result.total_ms,
+            network_ms=result.network_ms,
+            position_ms=result.position_ms,
+            permutation_ms=result.permutation_ms,
+            paths_ms=result.paths_ms,
+        ))
+    return rows

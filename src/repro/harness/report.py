@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print these tables so a run of ``pytest benchmarks/
+--benchmark-only`` regenerates, in text form, every figure and table of the
+paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def rows_to_dicts(rows: Sequence[object]) -> List[Dict[str, object]]:
+    """Convert a list of dataclass rows (or dicts) to plain dictionaries."""
+    out: List[Dict[str, object]] = []
+    for row in rows:
+        if is_dataclass(row):
+            out.append(asdict(row))
+        elif isinstance(row, dict):
+            out.append(dict(row))
+        else:
+            raise TypeError(f"cannot render row of type {type(row).__name__}")
+    return out
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(rows: Sequence[object], title: str = "",
+                 columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as an aligned text table."""
+    dicts = rows_to_dicts(rows)
+    if not dicts:
+        return f"{title}\n(no rows)\n" if title else "(no rows)\n"
+    if columns is None:
+        columns = list(dicts[0].keys())
+    table: List[List[str]] = [[str(c) for c in columns]]
+    for row in dicts:
+        table.append([_format_cell(row.get(c, "")) for c in columns])
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+
+    def fmt(line: List[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(line))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(fmt(table[0]))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(fmt(line) for line in table[1:])
+    return "\n".join(parts) + "\n"
+
+
+def print_table(rows: Sequence[object], title: str = "",
+                columns: Optional[Sequence[str]] = None) -> None:
+    """Print a rendered table (convenience for benchmarks and examples)."""
+    print(render_table(rows, title=title, columns=columns))

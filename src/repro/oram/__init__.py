@@ -1,0 +1,30 @@
+"""Ring ORAM substrate and the Obladi parallel batch executor.
+
+Ring ORAM (Ren et al., 2015) is the tree-based ORAM Obladi builds on: a
+binary tree of buckets, each holding ``Z`` real and ``S`` dummy slots behind
+a per-bucket random permutation, a client-side stash, a position map, and a
+fully deterministic reverse-lexicographic eviction schedule (one ``evict
+path`` every ``A`` accesses).
+
+The package is split between *pure metadata logic* (planning which physical
+slots to touch) and *execution* (actually issuing storage requests), so that
+the sequential ORAM (:class:`~repro.oram.ring_oram.RingOram`) and Obladi's
+epoch-based parallel executor
+(:class:`~repro.oram.batch_executor.EpochBatchExecutor`) share one
+implementation of the algorithm — the parallel schedule must be a
+deterministic function of the sequential one (paper Lemma 2).
+"""
+
+from repro.oram.parameters import RingOramParameters, derive_parameters
+from repro.oram.ring_oram import RingOram, OramAccess
+from repro.oram.batch_executor import EpochBatchExecutor
+from repro.oram.crypto import CipherSuite
+
+__all__ = [
+    "RingOramParameters",
+    "derive_parameters",
+    "RingOram",
+    "OramAccess",
+    "EpochBatchExecutor",
+    "CipherSuite",
+]

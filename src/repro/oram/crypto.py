@@ -1,0 +1,182 @@
+"""Block encryption, authentication and padding.
+
+The Java prototype uses Bouncy Castle AES; the reproduction substitutes a
+keyed XOR keystream (SHA-256 in counter mode) plus an HMAC-SHA256 tag.  The
+substitution is documented in DESIGN.md: nothing in the evaluation depends on
+cryptographic strength — what matters is that
+
+* every slot stored on the server is a fixed-size, freshly randomised
+  ciphertext (so the adversary cannot distinguish real blocks from dummies or
+  correlate rewrites), and
+* integrity tags bind a ciphertext to its storage position and freshness
+  counter (Appendix A's malicious-server extension).
+
+Encryption cost is charged to the simulated clock by the executor via
+:class:`repro.sim.latency.CpuCostModel`, not here; these functions stay pure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class IntegrityError(Exception):
+    """Raised when a ciphertext fails authentication or freshness checks."""
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Deterministic keystream of ``length`` bytes from (key, nonce)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(key + nonce + struct.pack(">Q", counter)).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+@dataclass
+class CipherSuite:
+    """Encrypts, authenticates and pads ORAM blocks.
+
+    Parameters
+    ----------
+    key:
+        Secret key held by the proxy.  Generated randomly if omitted.
+    block_size:
+        Plaintext payload size every block is padded to.  Fixed-size
+        ciphertexts are what make real and dummy slots indistinguishable.
+    authenticated:
+        Attach and verify MAC tags binding position and freshness (the
+        Appendix A extension).  The honest-but-curious evaluation setting can
+        disable this to skip the tag bytes.
+    enabled:
+        When ``False`` payloads are only padded, not encrypted.  Large
+        benchmark sweeps use this to keep Python-side costs manageable; the
+        simulated crypto *cost* is still charged by the executor.
+    """
+
+    key: bytes = b""
+    block_size: int = 64
+    authenticated: bool = True
+    enabled: bool = True
+    _mac_len: int = 16
+    _nonce_len: int = 12
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            self.key = os.urandom(32)
+        if self.block_size < 1:
+            raise ValueError("block_size must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Padding
+    # ------------------------------------------------------------------ #
+    def pad(self, plaintext: bytes) -> bytes:
+        """Length-prefix and pad ``plaintext`` to exactly ``block_size`` bytes."""
+        if len(plaintext) > self.block_size - 4:
+            raise ValueError(
+                f"plaintext of {len(plaintext)} bytes exceeds block capacity "
+                f"{self.block_size - 4}"
+            )
+        header = struct.pack(">I", len(plaintext))
+        padded = header + plaintext
+        return padded + b"\x00" * (self.block_size - len(padded))
+
+    def unpad(self, padded: bytes) -> bytes:
+        """Inverse of :meth:`pad`."""
+        if len(padded) != self.block_size:
+            raise ValueError(
+                f"padded block has {len(padded)} bytes, expected {self.block_size}"
+            )
+        (length,) = struct.unpack(">I", padded[:4])
+        if length > self.block_size - 4:
+            raise IntegrityError("corrupt padding header")
+        return padded[4:4 + length]
+
+    # ------------------------------------------------------------------ #
+    # Encryption
+    # ------------------------------------------------------------------ #
+    @property
+    def ciphertext_size(self) -> int:
+        """Size in bytes of every ciphertext this suite produces."""
+        if not self.enabled:
+            return self.block_size
+        size = self._nonce_len + self.block_size
+        if self.authenticated:
+            size += self._mac_len
+        return size
+
+    def encrypt(self, plaintext: bytes, context: bytes = b"") -> bytes:
+        """Encrypt (and authenticate) a padded-to-block-size plaintext.
+
+        ``context`` is authenticated but not encrypted; Obladi binds the
+        storage position and the epoch/batch freshness counter here so a
+        malicious server cannot replay stale or relocated blocks.
+        """
+        padded = self.pad(plaintext)
+        if not self.enabled:
+            return padded
+        nonce = os.urandom(self._nonce_len)
+        stream = _keystream(self.key, nonce, len(padded))
+        body = bytes(a ^ b for a, b in zip(padded, stream))
+        blob = nonce + body
+        if self.authenticated:
+            tag = hmac.new(self.key, blob + context, hashlib.sha256).digest()[: self._mac_len]
+            blob += tag
+        return blob
+
+    def decrypt(self, blob: bytes, context: bytes = b"") -> bytes:
+        """Decrypt and verify a ciphertext produced by :meth:`encrypt`."""
+        if not self.enabled:
+            return self.unpad(blob)
+        expected = self.ciphertext_size
+        if len(blob) != expected:
+            raise IntegrityError(f"ciphertext has {len(blob)} bytes, expected {expected}")
+        if self.authenticated:
+            body, tag = blob[: -self._mac_len], blob[-self._mac_len:]
+            want = hmac.new(self.key, body + context, hashlib.sha256).digest()[: self._mac_len]
+            if not hmac.compare_digest(tag, want):
+                raise IntegrityError("MAC verification failed")
+        else:
+            body = blob
+        nonce, ciphertext = body[: self._nonce_len], body[self._nonce_len:]
+        stream = _keystream(self.key, nonce, len(ciphertext))
+        padded = bytes(a ^ b for a, b in zip(ciphertext, stream))
+        return self.unpad(padded)
+
+    # ------------------------------------------------------------------ #
+    # Block serialisation helpers
+    # ------------------------------------------------------------------ #
+    def seal_block(self, block_id: Optional[int], value: bytes, context: bytes = b"") -> bytes:
+        """Serialise and encrypt a (block id, value) pair; ``None`` id = dummy."""
+        bid = block_id if block_id is not None else 0xFFFFFFFF
+        payload = struct.pack(">I", bid) + value
+        return self.encrypt(payload, context)
+
+    def open_block(self, blob: bytes, context: bytes = b"") -> Tuple[Optional[int], bytes]:
+        """Inverse of :meth:`seal_block`; returns ``(block_id_or_None, value)``."""
+        payload = self.decrypt(blob, context)
+        if len(payload) < 4:
+            raise IntegrityError("sealed block too short")
+        (bid,) = struct.unpack(">I", payload[:4])
+        block_id = None if bid == 0xFFFFFFFF else bid
+        return block_id, payload[4:]
+
+    def dummy_block(self, context: bytes = b"") -> bytes:
+        """A fresh ciphertext indistinguishable from a real sealed block."""
+        return self.seal_block(None, b"", context)
+
+
+def freshness_context(bucket: int, version: int, slot: int = -1) -> bytes:
+    """Canonical authenticated context binding position and freshness.
+
+    Appendix A requires every stored value to be bound to the pair
+    (location, write counter); slots additionally bind their index.
+    """
+    return struct.pack(">qqq", bucket, version, slot)

@@ -1,0 +1,125 @@
+"""Client-side position map.
+
+The position map records, for every logical block id, the tree leaf (path)
+the block is currently mapped to.  Every access remaps the block to a fresh
+uniformly random leaf — the *path invariant* that makes repeated accesses to
+the same block look independent to the server.
+
+For durability, Obladi checkpoints the map each epoch; to keep checkpoints
+small it writes *deltas* (entries changed since the last full checkpoint)
+padded to the maximum number of entries an epoch could have changed, so the
+delta size never reveals how many real (non-padded) requests ran.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+class PositionMap:
+    """Mapping from block id to leaf, with delta tracking for checkpoints."""
+
+    def __init__(self, num_leaves: int, rng: Optional[random.Random] = None) -> None:
+        if num_leaves < 1:
+            raise ValueError("num_leaves must be positive")
+        self.num_leaves = num_leaves
+        self._rng = rng if rng is not None else random.Random()
+        self._positions: Dict[int, int] = {}
+        self._dirty: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Core mapping operations
+    # ------------------------------------------------------------------ #
+    def lookup(self, block_id: int) -> Optional[int]:
+        """Leaf the block is mapped to, or ``None`` if never seen."""
+        return self._positions.get(block_id)
+
+    def lookup_or_assign(self, block_id: int) -> int:
+        """Leaf for the block, assigning a fresh random leaf on first touch."""
+        leaf = self._positions.get(block_id)
+        if leaf is None:
+            leaf = self._rng.randrange(self.num_leaves)
+            self._positions[block_id] = leaf
+            self._dirty.add(block_id)
+        return leaf
+
+    def remap(self, block_id: int) -> int:
+        """Assign a fresh uniformly random leaf and return it."""
+        leaf = self._rng.randrange(self.num_leaves)
+        self._positions[block_id] = leaf
+        self._dirty.add(block_id)
+        return leaf
+
+    def set(self, block_id: int, leaf: int) -> None:
+        """Force a specific mapping (used by recovery when replaying a delta)."""
+        if not 0 <= leaf < self.num_leaves:
+            raise ValueError(f"leaf {leaf} out of range [0, {self.num_leaves})")
+        self._positions[block_id] = leaf
+        self._dirty.add(block_id)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._positions
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._positions.items())
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint support
+    # ------------------------------------------------------------------ #
+    def dirty_entries(self) -> Dict[int, int]:
+        """Entries modified since the last :meth:`clear_dirty` call."""
+        return {bid: self._positions[bid] for bid in self._dirty if bid in self._positions}
+
+    def clear_dirty(self) -> None:
+        """Mark all entries clean (called after a successful checkpoint)."""
+        self._dirty.clear()
+
+    def serialize_full(self) -> bytes:
+        """Full-map serialisation for periodic full checkpoints."""
+        payload = {"num_leaves": self.num_leaves,
+                   "positions": {str(k): v for k, v in self._positions.items()}}
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    def serialize_delta(self, pad_to_entries: int = 0) -> bytes:
+        """Delta serialisation padded to ``pad_to_entries`` entries.
+
+        Padding entries use the sentinel block id ``-1`` so that the byte
+        length of the delta depends only on ``pad_to_entries`` — the paper's
+        requirement that the delta size not reveal how many real requests an
+        epoch contained.
+        """
+        entries: List[Tuple[int, int]] = sorted(self.dirty_entries().items())
+        if pad_to_entries and len(entries) > pad_to_entries:
+            raise ValueError(
+                f"delta has {len(entries)} entries but pad bound is {pad_to_entries}"
+            )
+        while pad_to_entries and len(entries) < pad_to_entries:
+            entries.append((-1, 0))
+        payload = {"delta": entries}
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def deserialize_full(cls, blob: bytes, rng: Optional[random.Random] = None) -> "PositionMap":
+        """Rebuild a map from :meth:`serialize_full` output."""
+        payload = json.loads(blob.decode("utf-8"))
+        pmap = cls(payload["num_leaves"], rng=rng)
+        for key, leaf in payload["positions"].items():
+            pmap._positions[int(key)] = int(leaf)
+        pmap.clear_dirty()
+        return pmap
+
+    def apply_delta(self, blob: bytes) -> int:
+        """Apply a serialised delta; returns the number of real entries applied."""
+        payload = json.loads(blob.decode("utf-8"))
+        applied = 0
+        for block_id, leaf in payload["delta"]:
+            if block_id < 0:
+                continue
+            self._positions[int(block_id)] = int(leaf)
+            applied += 1
+        return applied

@@ -1,0 +1,547 @@
+"""Sequential Ring ORAM.
+
+This module implements the Ring ORAM construction (Ren et al., 2015) that
+Obladi builds on, split into *planning* (pure metadata decisions: which
+physical slots to read, where evicted blocks land) and *execution* (issuing
+storage requests).  The sequential :class:`RingOram` front end executes each
+plan immediately, one request at a time — this is the "Sequential" baseline
+of Figure 10a.  Obladi's epoch executor
+(:class:`repro.oram.batch_executor.EpochBatchExecutor`) reuses the same
+planner but batches, parallelises and defers the physical operations.
+
+Storage layout
+--------------
+Each physical slot is stored under its own key::
+
+    oram/<bucket_id>/v<version>/s/<slot_index>
+
+so that a path read is ``L + 1`` single-slot reads (exactly what the server
+observes in the paper) and a bucket rewrite is ``Z + S`` slot writes under a
+*new* version — the copy-on-write shadow paging that recovery relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.oram import path_math
+from repro.oram.crypto import CipherSuite, freshness_context
+from repro.oram.metadata import MetadataTable
+from repro.oram.parameters import RingOramParameters
+from repro.oram.position_map import PositionMap
+from repro.oram.stash import Stash, StashReason
+from repro.sim.clock import SimClock
+from repro.sim.latency import CpuCostModel
+from repro.storage.backend import StorageServer
+
+
+class OramOp(enum.Enum):
+    """Logical operation kinds accepted by the ORAM."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class OramAccess:
+    """A logical request submitted to the ORAM."""
+
+    op: OramOp
+    block_id: int
+    value: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.op is OramOp.WRITE and self.value is None:
+            raise ValueError("write access requires a value")
+
+
+@dataclass
+class SlotRead:
+    """One physical slot read planned for a path access or eviction."""
+
+    bucket_id: int
+    slot_index: int
+    version: int
+    expected_block: Optional[int]   # real block id expected there, None = dummy
+
+    @property
+    def storage_key(self) -> str:
+        return slot_storage_key(self.bucket_id, self.version, self.slot_index)
+
+
+@dataclass
+class PathReadPlan:
+    """Plan for one logical path read (real or padded dummy request)."""
+
+    block_id: Optional[int]          # None = dummy request
+    leaf: int
+    slot_reads: List[SlotRead] = field(default_factory=list)
+    served_from_stash: bool = False
+    new_leaf: Optional[int] = None
+
+
+@dataclass
+class BucketRewrite:
+    """A bucket's new contents, ready to be written out (copy-on-write)."""
+
+    bucket_id: int
+    version: int                              # version being written
+    slot_payloads: Dict[int, bytes] = field(default_factory=dict)
+    plain_contents: Dict[int, bytes] = field(default_factory=dict)
+
+    def storage_items(self) -> Dict[str, bytes]:
+        """Storage key/payload pairs for every slot of the new version."""
+        return {
+            slot_storage_key(self.bucket_id, self.version, idx): payload
+            for idx, payload in self.slot_payloads.items()
+        }
+
+
+@dataclass
+class EvictionPlan:
+    """Plan for one evict-path (or early-reshuffle) operation."""
+
+    kind: str                                   # "evict" or "reshuffle"
+    eviction_index: int                         # value of G when planned
+    leaf: int
+    bucket_ids: List[int] = field(default_factory=list)
+    slot_reads: List[SlotRead] = field(default_factory=list)
+
+
+def slot_storage_key(bucket_id: int, version: int, slot_index: int) -> str:
+    """Storage key of one physical slot of one bucket version."""
+    return f"oram/{bucket_id}/v{version}/s/{slot_index}"
+
+
+class RingOram:
+    """Sequential Ring ORAM client.
+
+    Parameters
+    ----------
+    params:
+        Tree geometry and (Z, S, A) parameters.
+    storage:
+        The untrusted storage server.
+    cipher:
+        Cipher suite for sealing slots.  A fresh suite is created if omitted.
+    clock:
+        Shared simulated clock (storage requests advance it); optional.
+    cost_model:
+        CPU cost constants charged per physical block handled.
+    seed:
+        Seed for the ORAM's private RNG (position remapping, permutations),
+        so tests are reproducible.
+    dummiless_writes:
+        Obladi's optimisation (§6.3): logical writes go straight to the stash
+        without a physical path read.  Off by default so the plain Ring ORAM
+        behaviour is available for baselines and tests.
+    """
+
+    def __init__(self, params: RingOramParameters, storage: StorageServer,
+                 cipher: Optional[CipherSuite] = None,
+                 clock: Optional[SimClock] = None,
+                 cost_model: Optional[CpuCostModel] = None,
+                 seed: Optional[int] = None,
+                 dummiless_writes: bool = False,
+                 charge_crypto: Optional[bool] = None) -> None:
+        self.params = params
+        self.storage = storage
+        self.clock = clock if clock is not None else getattr(storage, "clock", SimClock())
+        self.cost_model = cost_model if cost_model is not None else CpuCostModel()
+        self.rng = random.Random(seed)
+        self.cipher = cipher if cipher is not None else CipherSuite(
+            block_size=params.block_size + 8)
+        self.dummiless_writes = dummiless_writes
+        # When set, overrides whether simulated crypto CPU cost is charged
+        # (used by benchmarks that disable real encryption for speed but want
+        # to model its cost).
+        self.charge_crypto = charge_crypto
+
+        self.position_map = PositionMap(params.num_leaves, rng=self.rng)
+        self.metadata = MetadataTable(params.num_buckets, params.z_real,
+                                      params.s_dummies, rng=self.rng)
+        self.stash = Stash(capacity=0)
+
+        self.access_count = 0          # logical accesses since the ORAM started
+        self.eviction_count = 0        # G: number of evict-path operations issued
+        self.stats_physical_reads = 0
+        self.stats_physical_writes = 0
+        self.stats_early_reshuffles = 0
+        self.stats_stash_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Planning (pure metadata; shared with the batch executor)
+    # ------------------------------------------------------------------ #
+    def plan_path_read(self, block_id: Optional[int],
+                       force_dummy_path: Optional[int] = None) -> PathReadPlan:
+        """Plan the physical slot reads for one logical (or dummy) path read.
+
+        Planning mutates client metadata: the touched slots are invalidated,
+        per-bucket read counters advance, and a real block is remapped to a
+        fresh leaf.  The physical reads *must* subsequently be issued (either
+        immediately by :meth:`read`/:meth:`write` or by the batch executor),
+        otherwise the bucket invariant bookkeeping would diverge from what
+        the server observed.
+        """
+        if block_id is not None:
+            leaf = self.position_map.lookup_or_assign(block_id)
+        elif force_dummy_path is not None:
+            leaf = force_dummy_path
+        else:
+            leaf = self.rng.randrange(self.params.num_leaves)
+
+        plan = PathReadPlan(block_id=block_id, leaf=leaf)
+        target_found_in_tree = False
+
+        for bid in path_math.path_buckets(leaf, self.params.depth):
+            meta = self.metadata.bucket(bid)
+            slot_index: Optional[int] = None
+            expected: Optional[int] = None
+            if block_id is not None and not target_found_in_tree:
+                slot_index = meta.slot_of_block(block_id)
+                if slot_index is not None:
+                    expected = block_id
+                    target_found_in_tree = True
+            if slot_index is None:
+                dummies = meta.valid_dummy_slots()
+                if dummies:
+                    slot_index = self.rng.choice(dummies)
+                else:
+                    # No valid dummy left: fall back to any valid slot (the
+                    # bucket will be early-reshuffled right after this path).
+                    valid = [i for i, s in enumerate(meta.slots) if s.valid]
+                    if not valid:
+                        # Bucket fully consumed; early reshuffle will restore
+                        # it.  Read slot 0 of the current version: the server
+                        # cannot distinguish this from any other slot choice.
+                        slot_index = 0
+                        plan.slot_reads.append(SlotRead(bid, slot_index, meta.version, None))
+                        meta.reads_since_write += 1
+                        self.metadata.mark_dirty(bid)
+                        continue
+                    slot_index = self.rng.choice(valid)
+                    expected = meta.slots[slot_index].block_id
+
+            meta.invalidate(slot_index)
+            meta.reads_since_write += 1
+            self.metadata.mark_dirty(bid)
+            plan.slot_reads.append(SlotRead(bid, slot_index, meta.version, expected))
+
+        if block_id is not None:
+            plan.new_leaf = self.position_map.remap(block_id)
+            if not target_found_in_tree and block_id in self.stash:
+                plan.served_from_stash = True
+        return plan
+
+    def plan_eviction(self) -> EvictionPlan:
+        """Plan the read phase of the next deterministic evict-path."""
+        g = self.eviction_count
+        leaf = path_math.eviction_path(g, self.params.depth)
+        plan = EvictionPlan(kind="evict", eviction_index=g, leaf=leaf)
+        plan.bucket_ids = path_math.path_buckets(leaf, self.params.depth)
+        for bid in plan.bucket_ids:
+            plan.slot_reads.extend(self._plan_bucket_drain(bid))
+        self.eviction_count += 1
+        return plan
+
+    def plan_early_reshuffle(self, bucket_id: int) -> EvictionPlan:
+        """Plan an early reshuffle of one over-read bucket."""
+        plan = EvictionPlan(kind="reshuffle", eviction_index=self.eviction_count,
+                            leaf=-1, bucket_ids=[bucket_id])
+        plan.slot_reads = self._plan_bucket_drain(bucket_id)
+        self.stats_early_reshuffles += 1
+        return plan
+
+    def _plan_bucket_drain(self, bucket_id: int) -> List[SlotRead]:
+        """Slot reads that pull every remaining valid real block of a bucket.
+
+        Ring ORAM's eviction read phase reads exactly ``Z`` slots per bucket
+        (remaining valid reals padded with valid dummies) so the server
+        learns nothing about the bucket's occupancy.
+        """
+        meta = self.metadata.bucket(bucket_id)
+        reads: List[SlotRead] = []
+        real_slots = meta.valid_real_slots()
+        for idx in real_slots:
+            reads.append(SlotRead(bucket_id, idx, meta.version, meta.slots[idx].block_id))
+        dummy_needed = max(0, self.params.z_real - len(real_slots))
+        dummies = meta.valid_dummy_slots()
+        self.rng.shuffle(dummies)
+        for idx in dummies[:dummy_needed]:
+            reads.append(SlotRead(bucket_id, idx, meta.version, None))
+        return reads
+
+    def complete_eviction(self, plan: EvictionPlan,
+                          fetched: Dict[int, bytes]) -> List[BucketRewrite]:
+        """Finish an eviction: place stash blocks and produce bucket rewrites.
+
+        ``fetched`` maps block ids recovered by the read phase to their
+        plaintext values.  Fetched blocks join the stash first (exactly as in
+        the sequential algorithm), then the write phase greedily places every
+        stash block into the deepest bucket on the target path that
+        intersects the block's assigned path and still has room.
+        """
+        for block_id, value in fetched.items():
+            leaf = self.position_map.lookup_or_assign(block_id)
+            if block_id not in self.stash:
+                self.stash.put(block_id, leaf, value, StashReason.EVICTION_RESIDUE)
+
+        rewrites: List[BucketRewrite] = []
+        if plan.kind == "reshuffle":
+            for bid in plan.bucket_ids:
+                rewrites.append(self._rewrite_bucket_from_stash(bid, restrict_to_bucket=True))
+            return rewrites
+
+        # Ordinary evict-path: fill buckets from the leaf upwards so blocks
+        # land as deep as possible.
+        placements: Dict[int, List[Tuple[int, bytes]]] = {bid: [] for bid in plan.bucket_ids}
+        for entry in self.stash.entries():
+            common = path_math.deepest_common_level(entry.leaf, plan.leaf, self.params.depth)
+            placed = False
+            for level in range(common, -1, -1):
+                bid = plan.bucket_ids[level]
+                if len(placements[bid]) < self.params.z_real:
+                    placements[bid].append((entry.block_id, entry.value))
+                    placed = True
+                    break
+            if placed:
+                self.stash.remove(entry.block_id)
+
+        for bid in plan.bucket_ids:
+            rewrites.append(self._build_rewrite(bid, placements[bid]))
+
+        # Anything still in the stash had no room: mark it as eviction
+        # residue so the caching optimisation will not serve it silently.
+        for block_id in list(self.stash.iter_ids()):
+            self.stash.mark_residue(block_id)
+        return rewrites
+
+    def _rewrite_bucket_from_stash(self, bucket_id: int, restrict_to_bucket: bool) -> BucketRewrite:
+        """Early reshuffle: rewrite one bucket with the blocks it already held."""
+        del restrict_to_bucket
+        level = path_math.bucket_level(bucket_id)
+        index = path_math.bucket_index_in_level(bucket_id)
+        placements: List[Tuple[int, bytes]] = []
+        for entry in self.stash.entries():
+            if len(placements) >= self.params.z_real:
+                break
+            leaf_prefix = entry.leaf >> (self.params.depth - level) if level <= self.params.depth else -1
+            if level == 0 or leaf_prefix == index:
+                placements.append((entry.block_id, entry.value))
+                self.stash.remove(entry.block_id)
+        return self._build_rewrite(bucket_id, placements)
+
+    def _build_rewrite(self, bucket_id: int, contents: List[Tuple[int, bytes]]) -> BucketRewrite:
+        """Produce the sealed slot payloads for a bucket's next version."""
+        meta = self.metadata.rewrite_bucket(bucket_id, contents)
+        version = meta.version
+        by_block = dict(contents)
+        payloads: Dict[int, bytes] = {}
+        for idx, slot in enumerate(meta.slots):
+            context = freshness_context(bucket_id, version, idx)
+            if slot.block_id is not None:
+                payloads[idx] = self.cipher.seal_block(slot.block_id, by_block[slot.block_id],
+                                                       context)
+            else:
+                payloads[idx] = self.cipher.dummy_block(context)
+        return BucketRewrite(bucket_id=bucket_id, version=version, slot_payloads=payloads,
+                             plain_contents=dict(by_block))
+
+    def buckets_needing_reshuffle(self, bucket_ids: Sequence[int]) -> List[int]:
+        """Subset of ``bucket_ids`` that must be early-reshuffled."""
+        due = []
+        for bid in bucket_ids:
+            if self.metadata.bucket(bid).needs_reshuffle(self.params.s_dummies):
+                due.append(bid)
+        return due
+
+    # ------------------------------------------------------------------ #
+    # Physical execution (sequential mode)
+    # ------------------------------------------------------------------ #
+    def _crypto_charged(self) -> bool:
+        """Whether simulated per-block crypto cost is charged."""
+        if self.charge_crypto is not None:
+            return self.charge_crypto
+        return self.cipher.enabled
+
+    def _decrypt_slot(self, slot: SlotRead, blob: Optional[bytes]) -> Optional[Tuple[int, bytes]]:
+        """Decrypt one fetched slot; returns (block_id, value) for real blocks."""
+        self.clock.advance(self.cost_model.sequential_block_cost_ms(self._crypto_charged()))
+        if blob is None or slot.expected_block is None:
+            return None
+        context = freshness_context(slot.bucket_id, slot.version, slot.slot_index)
+        block_id, value = self.cipher.open_block(blob, context)
+        if block_id is None:
+            return None
+        return block_id, value
+
+    def _execute_slot_reads(self, slot_reads: Sequence[SlotRead],
+                            parallelism: int = 1) -> Dict[int, bytes]:
+        """Issue the physical reads and return {block_id: plaintext value}."""
+        keys = [s.storage_key for s in slot_reads]
+        result = self.storage.read_batch(keys, parallelism=parallelism)
+        self.stats_physical_reads += len(keys)
+        fetched: Dict[int, bytes] = {}
+        for slot in slot_reads:
+            blob = result.values.get(slot.storage_key)
+            opened = self._decrypt_slot(slot, blob)
+            if opened is not None:
+                fetched[opened[0]] = opened[1]
+        return fetched
+
+    def _write_rewrites(self, rewrites: Sequence[BucketRewrite],
+                        parallelism: int = 1) -> None:
+        """Write new bucket versions to storage."""
+        items: Dict[str, bytes] = {}
+        for rewrite in rewrites:
+            items.update(rewrite.storage_items())
+        if items:
+            self.storage.write_batch(items, parallelism=parallelism)
+            self.stats_physical_writes += len(items)
+            per_block = self.cost_model.sequential_block_cost_ms(self._crypto_charged())
+            self.clock.advance(per_block * len(items))
+
+    def _maybe_evict(self) -> None:
+        """Run the deterministic evict-path if this access crossed a boundary."""
+        if self.access_count % self.params.evict_rate != 0:
+            return
+        plan = self.plan_eviction()
+        fetched = self._execute_slot_reads(plan.slot_reads)
+        rewrites = self.complete_eviction(plan, fetched)
+        self._write_rewrites(rewrites)
+
+    def _maybe_reshuffle(self, bucket_ids: Sequence[int]) -> None:
+        for bid in self.buckets_needing_reshuffle(bucket_ids):
+            plan = self.plan_early_reshuffle(bid)
+            fetched = self._execute_slot_reads(plan.slot_reads)
+            rewrites = self.complete_eviction(plan, fetched)
+            self._write_rewrites(rewrites)
+
+    # ------------------------------------------------------------------ #
+    # Public logical interface
+    # ------------------------------------------------------------------ #
+    def access(self, request: OramAccess) -> Optional[bytes]:
+        """Execute one logical access sequentially and return the read value."""
+        if request.op is OramOp.WRITE and self.dummiless_writes:
+            return self._write_dummiless(request.block_id, request.value or b"")
+        return self._access_with_path_read(request)
+
+    def read(self, block_id: int) -> Optional[bytes]:
+        """Logical read; returns ``None`` if the block has never been written."""
+        return self.access(OramAccess(OramOp.READ, block_id))
+
+    def write(self, block_id: int, value: bytes) -> None:
+        """Logical write."""
+        self.access(OramAccess(OramOp.WRITE, block_id, value))
+
+    def _access_with_path_read(self, request: OramAccess) -> Optional[bytes]:
+        self.access_count += 1
+        stash_entry = self.stash.get(request.block_id)
+        plan = self.plan_path_read(request.block_id)
+        fetched = self._execute_slot_reads(plan.slot_reads)
+
+        value: Optional[bytes]
+        if request.block_id in fetched:
+            value = fetched.pop(request.block_id)
+        elif stash_entry is not None:
+            value = stash_entry.value
+            self.stats_stash_hits += 1
+        else:
+            value = None
+
+        if request.op is OramOp.WRITE:
+            value = request.value
+
+        if value is not None:
+            assert plan.new_leaf is not None
+            self.stash.put(request.block_id, plan.new_leaf, value, StashReason.LOGICAL_ACCESS)
+
+        # Any other real blocks accidentally recovered rejoin the stash too.
+        for bid, val in fetched.items():
+            leaf = self.position_map.lookup_or_assign(bid)
+            if bid not in self.stash:
+                self.stash.put(bid, leaf, val, StashReason.EVICTION_RESIDUE)
+
+        touched = [s.bucket_id for s in plan.slot_reads]
+        self._maybe_reshuffle(touched)
+        self._maybe_evict()
+        return value if request.op is OramOp.READ else None
+
+    def _write_dummiless(self, block_id: int, value: bytes) -> None:
+        """Obladi's dummiless write: stash insertion, no physical path read.
+
+        The access still counts toward the eviction schedule so the stash
+        bound is preserved (paper §6.3).
+        """
+        self.access_count += 1
+        self.forget_tree_copy(block_id)
+        new_leaf = self.position_map.remap(block_id)
+        self.stash.put(block_id, new_leaf, value, StashReason.LOGICAL_ACCESS)
+        self._maybe_evict()
+
+    def forget_tree_copy(self, block_id: int) -> None:
+        """Drop the proxy's record of a block's in-tree copy.
+
+        A normal path read removes a block from the tree (its slot is
+        invalidated and the block moves to the stash), so rewriting it never
+        leaves a stale copy behind.  A *dummiless* write skips the path read,
+        so the proxy must explicitly forget any copy still recorded in bucket
+        metadata — otherwise a later eviction could drain the stale value and
+        resurrect it over the new one.  This touches only client-side
+        metadata; the server-side ciphertext stays where it is and remains
+        indistinguishable from any other slot.
+        """
+        leaf = self.position_map.lookup(block_id)
+        if leaf is None:
+            return
+        for bid in path_math.path_buckets(leaf, self.params.depth):
+            meta = self.metadata.bucket(bid)
+            for slot in meta.slots:
+                if slot.block_id == block_id:
+                    slot.block_id = None
+                    self.metadata.mark_dirty(bid)
+                    return
+        # The block may only exist in the stash (or nowhere yet); nothing to do.
+
+    # ------------------------------------------------------------------ #
+    # Bulk loading
+    # ------------------------------------------------------------------ #
+    def bulk_load(self, blocks: Dict[int, bytes]) -> None:
+        """Load an initial dataset directly into the tree.
+
+        Blocks are assigned random leaves and greedily packed into the
+        deepest bucket on their path with room, leaf level first; overflow
+        lands in the stash.  Bucket versions advance exactly once, so the
+        resulting server state is indistinguishable from a tree that was
+        filled through the normal protocol (every slot is a fresh
+        ciphertext).
+        """
+        placements: Dict[int, List[Tuple[int, bytes]]] = {}
+        for block_id, value in sorted(blocks.items()):
+            leaf = self.position_map.lookup_or_assign(block_id)
+            placed = False
+            path = path_math.path_buckets(leaf, self.params.depth)
+            for bid in reversed(path):
+                bucket_load = placements.setdefault(bid, [])
+                if len(bucket_load) < self.params.z_real:
+                    bucket_load.append((block_id, value))
+                    placed = True
+                    break
+            if not placed:
+                self.stash.put(block_id, leaf, value, StashReason.EVICTION_RESIDUE)
+
+        rewrites = [self._build_rewrite(bid, contents)
+                    for bid, contents in sorted(placements.items())]
+        self._write_rewrites(rewrites, parallelism=64)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stash_size(self) -> int:
+        return len(self.stash)
+
+    def physical_request_count(self) -> int:
+        return self.stats_physical_reads + self.stats_physical_writes

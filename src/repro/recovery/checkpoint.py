@@ -1,0 +1,191 @@
+"""Epoch checkpoints of the proxy's volatile metadata.
+
+At every epoch boundary the proxy durably stores the metadata it would need
+to resume from that epoch: the position map, the per-bucket permutation
+metadata, the valid/invalid map, the stash (padded to its bound), the key
+directory, and the access/eviction counters.  To keep the steady-state cost
+low, most epochs write *deltas* (entries changed since the last full
+checkpoint); every ``checkpoint_frequency`` epochs a full checkpoint is
+written and older deltas become garbage (Figure 11a sweeps this frequency).
+
+All components except the valid/invalid map are encrypted; the position-map
+delta is padded to the maximum number of entries an epoch can change so its
+size leaks nothing about how many real requests ran (paper §8).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.oram.crypto import CipherSuite
+from repro.storage.backend import StorageServer
+
+
+@dataclass
+class CheckpointManifest:
+    """Index of the checkpoint chain, stored in the clear (structure only)."""
+
+    last_epoch: int = -1
+    last_full_epoch: int = -1
+    delta_epochs: List[int] = field(default_factory=list)
+    access_count: int = 0
+    eviction_count: int = 0
+
+    def serialize(self) -> bytes:
+        return json.dumps({
+            "last_epoch": self.last_epoch,
+            "last_full_epoch": self.last_full_epoch,
+            "delta_epochs": self.delta_epochs,
+            "access_count": self.access_count,
+            "eviction_count": self.eviction_count,
+        }, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "CheckpointManifest":
+        payload = json.loads(blob.decode("utf-8"))
+        return cls(
+            last_epoch=payload["last_epoch"],
+            last_full_epoch=payload["last_full_epoch"],
+            delta_epochs=list(payload["delta_epochs"]),
+            access_count=payload["access_count"],
+            eviction_count=payload["eviction_count"],
+        )
+
+
+MANIFEST_KEY = "ckpt/manifest"
+
+
+def _component_key(epoch_id: int, name: str, full: bool) -> str:
+    kind = "full" if full else "delta"
+    return f"ckpt/{epoch_id}/{kind}/{name}"
+
+
+@dataclass
+class CheckpointSizes:
+    """Byte sizes of one checkpoint's components (used by Figure 11a / Table 11b)."""
+
+    position_bytes: int = 0
+    metadata_bytes: int = 0
+    valid_map_bytes: int = 0
+    stash_bytes: int = 0
+    extra_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.position_bytes + self.metadata_bytes + self.valid_map_bytes
+                + self.stash_bytes + self.extra_bytes)
+
+
+class CheckpointStore:
+    """Writes and reads checkpoint components on the untrusted store."""
+
+    def __init__(self, storage: StorageServer, cipher: Optional[CipherSuite] = None,
+                 encrypt: bool = True) -> None:
+        self.storage = storage
+        self.encrypt = encrypt
+        # Checkpoint payloads vary in size; they are encrypted with a stream
+        # cipher sized per payload rather than padded to one block.
+        self.cipher = cipher if cipher is not None else CipherSuite(block_size=64,
+                                                                    enabled=encrypt)
+        self.manifest = self._load_manifest()
+
+    # ------------------------------------------------------------------ #
+    # Sealing helpers (variable-length payloads)
+    # ------------------------------------------------------------------ #
+    def _seal(self, payload: bytes) -> bytes:
+        if not self.encrypt:
+            return payload
+        suite = CipherSuite(key=self.cipher.key, block_size=len(payload) + 4,
+                            authenticated=True, enabled=True)
+        return suite.encrypt(payload)
+
+    def _unseal(self, blob: bytes, plaintext_hint: int = 0) -> bytes:
+        if not self.encrypt:
+            return blob
+        suite = CipherSuite(key=self.cipher.key,
+                            block_size=len(blob) - 12 - 16,
+                            authenticated=True, enabled=True)
+        return suite.decrypt(blob)
+
+    # ------------------------------------------------------------------ #
+    # Manifest
+    # ------------------------------------------------------------------ #
+    def _load_manifest(self) -> CheckpointManifest:
+        blob = self.storage.read(MANIFEST_KEY)
+        if blob is None:
+            return CheckpointManifest()
+        return CheckpointManifest.deserialize(blob)
+
+    def _store_manifest(self) -> None:
+        self.storage.write(MANIFEST_KEY, self.manifest.serialize())
+
+    # ------------------------------------------------------------------ #
+    # Writing checkpoints
+    # ------------------------------------------------------------------ #
+    def write_checkpoint(self, epoch_id: int, components: Dict[str, bytes],
+                         plain_components: Dict[str, bytes], full: bool,
+                         access_count: int, eviction_count: int) -> CheckpointSizes:
+        """Write one epoch's checkpoint; returns the component sizes.
+
+        ``components`` are encrypted before storage; ``plain_components``
+        (the valid/invalid map) are stored as-is.
+        """
+        items: Dict[str, bytes] = {}
+        sizes = CheckpointSizes()
+        for name, payload in components.items():
+            sealed = self._seal(payload)
+            items[_component_key(epoch_id, name, full)] = sealed
+            if name == "position":
+                sizes.position_bytes = len(sealed)
+            elif name == "metadata":
+                sizes.metadata_bytes = len(sealed)
+            elif name == "stash":
+                sizes.stash_bytes = len(sealed)
+            else:
+                sizes.extra_bytes += len(sealed)
+        for name, payload in plain_components.items():
+            items[_component_key(epoch_id, name, full)] = payload
+            sizes.valid_map_bytes += len(payload)
+
+        self.storage.write_batch(items)
+
+        if full:
+            self.manifest.last_full_epoch = epoch_id
+            self.manifest.delta_epochs = []
+        else:
+            self.manifest.delta_epochs.append(epoch_id)
+        self.manifest.last_epoch = epoch_id
+        self.manifest.access_count = access_count
+        self.manifest.eviction_count = eviction_count
+        self._store_manifest()
+        return sizes
+
+    # ------------------------------------------------------------------ #
+    # Reading checkpoints (recovery)
+    # ------------------------------------------------------------------ #
+    def read_component(self, epoch_id: int, name: str, full: bool,
+                       encrypted: bool = True) -> Optional[bytes]:
+        blob = self.storage.read(_component_key(epoch_id, name, full))
+        if blob is None:
+            return None
+        return self._unseal(blob) if encrypted else blob
+
+    def chain(self) -> List[Dict[str, object]]:
+        """The checkpoint chain to replay: the last full one plus its deltas."""
+        entries: List[Dict[str, object]] = []
+        if self.manifest.last_full_epoch >= 0:
+            entries.append({"epoch": self.manifest.last_full_epoch, "full": True})
+        for epoch in self.manifest.delta_epochs:
+            entries.append({"epoch": epoch, "full": False})
+        return entries
+
+    def garbage_collect(self, keep_after_epoch: int) -> int:
+        """Delete checkpoint objects older than ``keep_after_epoch``."""
+        victims = [key for key in self.storage.keys()
+                   if key.startswith("ckpt/") and key != MANIFEST_KEY
+                   and int(key.split("/")[1]) < keep_after_epoch]
+        if victims:
+            self.storage.delete_batch(victims)
+        return len(victims)

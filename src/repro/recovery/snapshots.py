@@ -1,0 +1,96 @@
+"""Shadow-paging helpers: deterministic bucket versions and garbage collection.
+
+Obladi never overwrites a bucket in place: every eviction writes the bucket
+under a new version key, and recovery simply reverts the proxy's notion of
+"current version" to the one recorded by the last committed epoch's
+checkpoint.  Versions written by an aborted epoch remain on the server as
+unreachable garbage until collected.
+
+Because Ring ORAM's evict-path schedule is deterministic, the version of
+every bucket after ``G`` evictions is a closed-form function of ``G`` (plus
+any early reshuffles, which are data-dependent and therefore logged).  The
+helpers here compute that function and collect orphaned versions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.oram import path_math
+from repro.oram.metadata import MetadataTable
+from repro.oram.ring_oram import slot_storage_key
+from repro.storage.backend import StorageServer
+
+
+def expected_versions_from_evictions(eviction_count: int, depth: int) -> Dict[int, int]:
+    """Deterministic bucket versions implied by ``eviction_count`` evict-paths.
+
+    Early reshuffles and bulk loads add to these counts; the proxy's
+    checkpointed metadata records the authoritative value.  Recovery uses
+    this function as a cross-check and the tests verify it against the real
+    metadata when no early reshuffles occurred.
+    """
+    versions: Dict[int, int] = {}
+    for bucket in range(path_math.num_buckets(depth)):
+        versions[bucket] = path_math.eviction_count_for_bucket(bucket, eviction_count, depth)
+    return versions
+
+
+def orphaned_slot_keys(storage: StorageServer, metadata: MetadataTable,
+                       slots_per_bucket: int) -> List[str]:
+    """Slot keys on the server newer than the checkpointed bucket versions.
+
+    These are writes from aborted epochs (or from an epoch that crashed mid
+    write-back); they are unreachable after recovery and can be deleted.
+    """
+    current: Dict[int, int] = {bid: metadata.bucket(bid).version
+                               for bid in metadata.buckets_present()}
+    orphans: List[str] = []
+    for key in storage.keys():
+        if not key.startswith("oram/"):
+            continue
+        parts = key.split("/")
+        try:
+            bucket_id = int(parts[1])
+            version = int(parts[2][1:])
+        except (IndexError, ValueError):
+            continue
+        known = current.get(bucket_id, 0)
+        if version > known:
+            orphans.append(key)
+    return orphans
+
+
+def collect_garbage(storage: StorageServer, metadata: MetadataTable,
+                    slots_per_bucket: int) -> int:
+    """Delete orphaned bucket versions; returns how many slot objects were removed."""
+    orphans = orphaned_slot_keys(storage, metadata, slots_per_bucket)
+    if orphans:
+        storage.delete_batch(orphans)
+    return len(orphans)
+
+
+def old_version_keys(storage: StorageServer, metadata: MetadataTable,
+                     keep_versions: int = 1) -> List[str]:
+    """Slot keys more than ``keep_versions`` behind the current bucket version.
+
+    Obladi needs the previous committed version of each bucket for epoch
+    rollback; anything older can be reclaimed once the following epoch has
+    committed.
+    """
+    current: Dict[int, int] = {bid: metadata.bucket(bid).version
+                               for bid in metadata.buckets_present()}
+    stale: List[str] = []
+    for key in storage.keys():
+        if not key.startswith("oram/"):
+            continue
+        parts = key.split("/")
+        try:
+            bucket_id = int(parts[1])
+            version = int(parts[2][1:])
+        except (IndexError, ValueError):
+            continue
+        known = current.get(bucket_id, 0)
+        if version < known - keep_versions:
+            stale.append(key)
+    return stale

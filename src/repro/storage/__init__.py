@@ -1,0 +1,22 @@
+"""Untrusted cloud storage.
+
+The storage server is the *untrusted* half of Obladi's two-tier architecture:
+it stores encrypted ORAM buckets, the write-ahead log, and checkpoints, and
+it is controlled by an honest-but-curious adversary.  Everything the server
+observes — which addresses are read or written, when, and in what sizes — is
+recorded in an :class:`repro.storage.trace.AccessTrace` so the analysis
+package can verify workload independence empirically.
+"""
+
+from repro.storage.backend import StorageServer, StorageRequest, StorageOp
+from repro.storage.memory import InMemoryStorageServer
+from repro.storage.trace import AccessTrace, TraceEvent
+
+__all__ = [
+    "StorageServer",
+    "StorageRequest",
+    "StorageOp",
+    "InMemoryStorageServer",
+    "AccessTrace",
+    "TraceEvent",
+]

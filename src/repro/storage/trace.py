@@ -1,0 +1,147 @@
+"""Adversary-visible access trace.
+
+Everything the honest-but-curious storage provider can observe is captured
+here: per-request key, operation type, payload size and timestamp, plus
+batch boundaries.  The obliviousness analysis (:mod:`repro.analysis`) works
+entirely on these traces — if two different logical workloads produce traces
+drawn from the same distribution, the adversary learns nothing about which
+workload ran.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.storage.backend import StorageOp
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One adversary-visible storage request."""
+
+    seq: int
+    time_ms: float
+    op: StorageOp
+    key: str
+    size_bytes: int
+    batch_id: int
+
+
+@dataclass(frozen=True)
+class BatchBoundary:
+    """Marks the start of a physical batch as seen by the adversary."""
+
+    batch_id: int
+    time_ms: float
+    kind: str          # "read" or "write"
+    request_count: int
+
+
+class AccessTrace:
+    """Accumulates the sequence of requests observed by the storage server."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._batches: List[BatchBoundary] = []
+        self._next_seq = 0
+        self._next_batch = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def begin_batch(self, kind: str, time_ms: float, request_count: int) -> int:
+        """Record the start of a batch; returns its id."""
+        batch_id = self._next_batch
+        self._next_batch += 1
+        self._batches.append(BatchBoundary(batch_id, time_ms, kind, request_count))
+        return batch_id
+
+    def record(self, op: StorageOp, key: str, size_bytes: int, time_ms: float,
+               batch_id: int = -1) -> TraceEvent:
+        """Record one request and return the stored event."""
+        event = TraceEvent(
+            seq=self._next_seq,
+            time_ms=time_ms,
+            op=op,
+            key=key,
+            size_bytes=size_bytes,
+            batch_id=batch_id,
+        )
+        self._next_seq += 1
+        self._events.append(event)
+        return event
+
+    def clear(self) -> None:
+        """Drop all recorded events (used between experiment phases)."""
+        self._events.clear()
+        self._batches.clear()
+        self._next_seq = 0
+        self._next_batch = 0
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def batches(self) -> List[BatchBoundary]:
+        return list(self._batches)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def keys_accessed(self, op: Optional[StorageOp] = None) -> List[str]:
+        """Keys in access order, optionally filtered by operation kind."""
+        return [e.key for e in self._events if op is None or e.op == op]
+
+    def key_frequencies(self, op: Optional[StorageOp] = None) -> Counter:
+        """How often each key was touched."""
+        return Counter(self.keys_accessed(op))
+
+    def ops_by_kind(self) -> Dict[StorageOp, int]:
+        """Number of requests per operation kind."""
+        counts: Dict[StorageOp, int] = {}
+        for event in self._events:
+            counts[event.op] = counts.get(event.op, 0) + 1
+        return counts
+
+    def batch_shape(self) -> List[Tuple[str, int]]:
+        """The adversary-visible (kind, size) sequence of batches.
+
+        Workload independence requires this sequence to depend only on the
+        configuration, never on the data being accessed; tests compare the
+        shapes produced by different logical workloads.
+        """
+        return [(b.kind, b.request_count) for b in self._batches]
+
+    def events_in_window(self, start_ms: float, end_ms: float) -> List[TraceEvent]:
+        """Events whose timestamp lies in [start_ms, end_ms)."""
+        return [e for e in self._events if start_ms <= e.time_ms < end_ms]
+
+    def keys_matching(self, prefix: str) -> List[str]:
+        """Keys in access order restricted to those starting with ``prefix``."""
+        return [e.key for e in self._events if e.key.startswith(prefix)]
+
+    def total_bytes(self, op: Optional[StorageOp] = None) -> int:
+        """Total payload bytes moved, optionally restricted to one op kind."""
+        return sum(e.size_bytes for e in self._events if op is None or e.op == op)
+
+
+def merge_traces(traces: Iterable[AccessTrace]) -> AccessTrace:
+    """Merge several traces into one, re-sequencing events by time.
+
+    Useful when an experiment runs multiple proxies against separate storage
+    servers but the analysis wants a single adversary view.
+    """
+    merged = AccessTrace()
+    all_events: List[TraceEvent] = []
+    for trace in traces:
+        all_events.extend(trace.events)
+    all_events.sort(key=lambda e: (e.time_ms, e.seq))
+    for event in all_events:
+        merged.record(event.op, event.key, event.size_bytes, event.time_ms, event.batch_id)
+    return merged

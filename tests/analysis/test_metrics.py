@@ -1,0 +1,60 @@
+"""Tests for metric helpers."""
+
+import pytest
+
+from repro.analysis.metrics import (LatencyStats, geometric_mean, percentile, relative,
+                                    slowdown, summarize_latencies, throughput_tps)
+
+
+class TestPercentiles:
+    def test_percentile_of_sorted_sample(self):
+        values = sorted(float(v) for v in range(1, 101))
+        assert percentile(values, 0.5) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 1.0) == 100.0
+
+    def test_percentile_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestSummaries:
+    def test_summarize_latencies(self):
+        stats = summarize_latencies([10.0, 20.0, 30.0, 40.0])
+        assert stats.count == 4
+        assert stats.mean_ms == pytest.approx(25.0)
+        assert stats.max_ms == 40.0
+        assert stats.p50_ms in (20.0, 30.0)
+
+    def test_summarize_empty(self):
+        stats = summarize_latencies([])
+        assert stats.count == 0
+        assert stats.mean_ms == 0.0
+
+    def test_as_dict(self):
+        stats = summarize_latencies([1.0])
+        assert set(stats.as_dict()) == {"count", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+                                        "max_ms"}
+
+
+class TestRates:
+    def test_throughput(self):
+        assert throughput_tps(100, 2000.0) == pytest.approx(50.0)
+        assert throughput_tps(100, 0.0) == 0.0
+
+    def test_relative(self):
+        assert relative(10.0, 5.0) == 2.0
+        assert relative(10.0, 0.0) == float("inf")
+        assert relative(0.0, 0.0) == 1.0
+
+    def test_slowdown(self):
+        assert slowdown(100.0, 10.0) == pytest.approx(10.0)
+        assert slowdown(100.0, 0.0) == float("inf")
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([-5.0, 10.0]) == pytest.approx(10.0)

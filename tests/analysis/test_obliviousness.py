@@ -1,0 +1,102 @@
+"""Tests for the obliviousness analysis helpers."""
+
+import random
+
+import pytest
+
+from repro.analysis.obliviousness import (batch_shapes_equal, bucket_access_counts,
+                                          check_bucket_invariant, chi_square_uniformity,
+                                          epoch_batch_pattern, leaf_access_counts,
+                                          slot_read_multiset, trace_similarity)
+from repro.storage.backend import StorageOp
+from repro.storage.trace import AccessTrace
+
+
+def synthetic_trace(keys, op=StorageOp.READ):
+    trace = AccessTrace()
+    for i, key in enumerate(keys):
+        trace.record(op, key, 64, float(i))
+    return trace
+
+
+class TestKeyParsingAndCounts:
+    def test_bucket_access_counts_ignores_non_oram_keys(self):
+        trace = synthetic_trace(["oram/3/v0/s/1", "wal/0/0", "ckpt/manifest", "oram/3/v0/s/2"])
+        counts = bucket_access_counts(trace)
+        assert counts == {3: 2}
+
+    def test_leaf_access_counts_only_counts_leaf_level(self):
+        # depth 2: leaves are buckets 3..6.
+        trace = synthetic_trace(["oram/0/v0/s/0", "oram/3/v0/s/0", "oram/6/v1/s/2"])
+        counts = leaf_access_counts(trace, depth=2)
+        assert counts == {0: 1, 3: 1}
+
+    def test_write_ops_filtered(self):
+        trace = AccessTrace()
+        trace.record(StorageOp.WRITE, "oram/1/v1/s/0", 64, 0.0)
+        assert bucket_access_counts(trace, StorageOp.READ) == {}
+        assert bucket_access_counts(trace, StorageOp.WRITE) == {1: 1}
+
+    def test_slot_read_multiset(self):
+        trace = synthetic_trace(["oram/1/v0/s/0", "oram/1/v0/s/0", "oram/1/v1/s/0"])
+        counts = slot_read_multiset(trace)
+        assert counts[(1, 0, 0)] == 2
+        assert counts[(1, 1, 0)] == 1
+
+    def test_bucket_invariant_violation_detected(self):
+        trace = synthetic_trace(["oram/1/v0/s/0", "oram/1/v0/s/0"])
+        assert check_bucket_invariant(trace) == [(1, 0, 0)]
+
+    def test_bucket_invariant_clean_trace(self):
+        trace = synthetic_trace([f"oram/1/v0/s/{i}" for i in range(5)])
+        assert check_bucket_invariant(trace) == []
+
+
+class TestStatistics:
+    def test_chi_square_accepts_uniform_sample(self):
+        rng = random.Random(1)
+        counts = {}
+        for _ in range(8000):
+            leaf = rng.randrange(16)
+            counts[leaf] = counts.get(leaf, 0) + 1
+        _stat, p_value = chi_square_uniformity(counts, 16)
+        assert p_value > 0.01
+
+    def test_chi_square_rejects_skewed_sample(self):
+        counts = {0: 5000}
+        _stat, p_value = chi_square_uniformity(counts, 16)
+        assert p_value < 1e-6
+
+    def test_chi_square_empty_sample(self):
+        assert chi_square_uniformity({}, 8) == (0.0, 1.0)
+
+    def test_trace_similarity_of_identical_distributions_is_small(self):
+        rng = random.Random(2)
+        keys_a = [f"oram/{15 + rng.randrange(16)}/v0/s/0" for _ in range(4000)]
+        keys_b = [f"oram/{15 + rng.randrange(16)}/v0/s/0" for _ in range(4000)]
+        distance = trace_similarity(synthetic_trace(keys_a), synthetic_trace(keys_b), depth=4)
+        assert distance < 0.1
+
+    def test_trace_similarity_detects_skew(self):
+        uniform = [f"oram/{15 + i % 16}/v0/s/0" for i in range(1600)]
+        skewed = ["oram/15/v0/s/0"] * 1600
+        distance = trace_similarity(synthetic_trace(uniform), synthetic_trace(skewed), depth=4)
+        assert distance > 0.8
+
+
+class TestBatchShape:
+    def test_epoch_batch_pattern(self):
+        trace = AccessTrace()
+        trace.begin_batch("read", 0.0, 8)
+        trace.begin_batch("read", 1.0, 8)
+        trace.begin_batch("write", 2.0, 4)
+        assert epoch_batch_pattern(trace) == ["read", "read", "write"]
+
+    def test_batch_shapes_equal(self):
+        a, b, c = AccessTrace(), AccessTrace(), AccessTrace()
+        for trace in (a, b):
+            trace.begin_batch("read", 0.0, 8)
+            trace.begin_batch("write", 1.0, 2)
+        c.begin_batch("read", 0.0, 4)
+        assert batch_shapes_equal(a, b)
+        assert not batch_shapes_equal(a, c)

@@ -1,0 +1,107 @@
+"""Tests for the serialization-graph checker."""
+
+import pytest
+
+from repro.concurrency.serializability import (SerializationGraph, build_serialization_graph,
+                                               check_recoverable, check_serializable)
+from repro.concurrency.transaction import CommittedTransaction
+
+
+def txn(txn_id, ts, reads=None, writes=None, epoch=0):
+    return CommittedTransaction(
+        txn_id=txn_id, timestamp=ts, epoch=epoch,
+        read_set=dict(reads or {}), write_set=dict(writes or {}),
+    )
+
+
+class TestGraphPrimitives:
+    def test_self_edges_ignored(self):
+        graph = SerializationGraph()
+        graph.add_edge(1, 1, "ww:k")
+        assert graph.is_acyclic()
+
+    def test_simple_cycle_detected(self):
+        graph = SerializationGraph()
+        graph.add_edge(1, 2, "wr:a")
+        graph.add_edge(2, 1, "rw:b")
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert set(cycle) >= {1, 2}
+
+    def test_acyclic_graph_topological_order(self):
+        graph = SerializationGraph()
+        graph.add_edge(1, 2, "ww:a")
+        graph.add_edge(2, 3, "ww:a")
+        order = graph.topological_order()
+        assert order.index(1) < order.index(2) < order.index(3)
+
+    def test_topological_order_raises_on_cycle(self):
+        graph = SerializationGraph()
+        graph.add_edge(1, 2, "x")
+        graph.add_edge(2, 1, "y")
+        with pytest.raises(ValueError):
+            graph.topological_order()
+
+    def test_long_cycle_detected(self):
+        graph = SerializationGraph()
+        for i in range(5):
+            graph.add_edge(i, (i + 1) % 5, "e")
+        assert not graph.is_acyclic()
+
+
+class TestHistoryChecking:
+    def test_serial_history_is_serializable(self):
+        history = [
+            txn(1, 1, writes={"a": b"1"}),
+            txn(2, 2, reads={"a": 1}, writes={"a": b"2"}),
+            txn(3, 3, reads={"a": 2}),
+        ]
+        ok, cycle = check_serializable(history)
+        assert ok and cycle is None
+
+    def test_write_skew_style_cycle_detected(self):
+        # T1 reads b then writes a; T2 reads a then writes b, each reading the
+        # initial version: classic non-serializable interleaving.
+        history = [
+            txn(1, 1, reads={"b": -1}, writes={"a": b"1"}),
+            txn(2, 2, reads={"a": -1}, writes={"b": b"2"}),
+        ]
+        graph = build_serialization_graph(history)
+        # rw edges in both directions -> cycle.
+        assert not graph.is_acyclic()
+
+    def test_disjoint_transactions_are_serializable(self):
+        history = [txn(i, i, writes={f"k{i}": b"v"}) for i in range(1, 6)]
+        ok, _ = check_serializable(history)
+        assert ok
+
+    def test_wr_edge_built_from_observed_writer(self):
+        history = [
+            txn(1, 1, writes={"a": b"1"}),
+            txn(2, 2, reads={"a": 1}),
+        ]
+        graph = build_serialization_graph(history)
+        assert 2 in graph.edges[1]
+        assert "wr:a" in graph.edge_labels[(1, 2)]
+
+    def test_rw_edge_to_later_writer(self):
+        history = [
+            txn(1, 1, reads={"a": -1}),
+            txn(2, 2, writes={"a": b"2"}),
+        ]
+        graph = build_serialization_graph(history)
+        assert 2 in graph.edges[1]
+
+    def test_empty_history_serializable(self):
+        ok, _ = check_serializable([])
+        assert ok
+
+
+class TestRecoverability:
+    def test_reading_aborted_writer_flagged(self):
+        history = [txn(2, 2, reads={"a": 5})]
+        assert not check_recoverable(history, aborted_writer_ts=[5])
+
+    def test_clean_history_recoverable(self):
+        history = [txn(2, 2, reads={"a": 1})]
+        assert check_recoverable(history, aborted_writer_ts=[5])

@@ -1,0 +1,98 @@
+"""Tests for transaction records and lifecycle."""
+
+import pytest
+
+from repro.concurrency.transaction import (AbortReason, CommittedTransaction,
+                                           TransactionRecord, TransactionStatus)
+
+
+def make_record(txn_id=1, ts=1):
+    return TransactionRecord(txn_id=txn_id, timestamp=ts, epoch=0, start_time_ms=10.0)
+
+
+class TestLifecycle:
+    def test_initial_state_is_active(self):
+        record = make_record()
+        assert record.is_active
+        assert not record.is_finished
+
+    def test_commit_flow(self):
+        record = make_record()
+        record.request_commit()
+        assert record.status is TransactionStatus.COMMIT_REQUESTED
+        record.mark_committed(now_ms=25.0)
+        assert record.is_finished
+        assert record.latency_ms() == pytest.approx(15.0)
+
+    def test_abort_flow(self):
+        record = make_record()
+        record.mark_aborted(AbortReason.WRITE_CONFLICT, now_ms=12.0)
+        assert record.status is TransactionStatus.ABORTED
+        assert record.abort_reason is AbortReason.WRITE_CONFLICT
+
+    def test_cannot_commit_after_abort(self):
+        record = make_record()
+        record.mark_aborted(AbortReason.USER)
+        with pytest.raises(ValueError):
+            record.mark_committed()
+
+    def test_cannot_abort_after_commit(self):
+        record = make_record()
+        record.request_commit()
+        record.mark_committed()
+        with pytest.raises(ValueError):
+            record.mark_aborted(AbortReason.USER)
+
+    def test_request_commit_twice_rejected(self):
+        record = make_record()
+        record.request_commit()
+        with pytest.raises(ValueError):
+            record.request_commit()
+
+    def test_latency_requires_finished(self):
+        record = make_record()
+        with pytest.raises(ValueError):
+            record.latency_ms()
+
+    def test_latency_never_negative(self):
+        record = make_record()
+        record.mark_aborted(AbortReason.USER, now_ms=5.0)   # before start_time
+        assert record.latency_ms() == 0.0
+
+
+class TestReadWriteTracking:
+    def test_record_read_tracks_dependency(self):
+        record = make_record(txn_id=2)
+        record.record_read("k", writer_ts=7, writer_txn=9)
+        assert record.read_set["k"] == 7
+        assert 9 in record.dependencies
+
+    def test_own_writes_not_a_dependency(self):
+        record = make_record(txn_id=2)
+        record.record_read("k", writer_ts=2, writer_txn=2)
+        assert record.dependencies == set()
+
+    def test_record_write(self):
+        record = make_record()
+        record.record_write("k", b"v")
+        assert record.write_set["k"] == b"v"
+        assert record.operations == 1
+
+    def test_operations_counter(self):
+        record = make_record()
+        record.record_read("a", -1)
+        record.record_write("b", b"1")
+        record.record_read("c", -1)
+        assert record.operations == 3
+
+
+class TestCommittedTransaction:
+    def test_from_record_copies_sets(self):
+        record = make_record(txn_id=4, ts=4)
+        record.record_read("a", 1)
+        record.record_write("b", b"2")
+        committed = CommittedTransaction.from_record(record)
+        record.record_write("c", b"3")
+        assert committed.write_set == {"b": b"2"}
+        assert committed.read_set == {"a": 1}
+        assert committed.txn_id == 4

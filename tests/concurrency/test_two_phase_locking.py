@@ -1,0 +1,107 @@
+"""Tests for the strict-2PL lock manager."""
+
+import pytest
+
+from repro.concurrency.two_phase_locking import DeadlockError, LockManager, LockMode
+
+
+@pytest.fixture
+def locks():
+    return LockManager()
+
+
+class TestLockModes:
+    def test_shared_locks_compatible(self, locks):
+        assert locks.acquire(1, "k", LockMode.SHARED)
+        assert locks.acquire(2, "k", LockMode.SHARED)
+
+    def test_exclusive_blocks_shared(self, locks):
+        assert locks.acquire(1, "k", LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, "k", LockMode.SHARED)
+
+    def test_shared_blocks_exclusive(self, locks):
+        assert locks.acquire(1, "k", LockMode.SHARED)
+        assert not locks.acquire(2, "k", LockMode.EXCLUSIVE)
+
+    def test_reacquire_held_lock(self, locks):
+        assert locks.acquire(1, "k", LockMode.EXCLUSIVE)
+        assert locks.acquire(1, "k", LockMode.EXCLUSIVE)
+        assert locks.acquire(1, "k", LockMode.SHARED)
+
+    def test_upgrade_when_sole_holder(self, locks):
+        assert locks.acquire(1, "k", LockMode.SHARED)
+        assert locks.acquire(1, "k", LockMode.EXCLUSIVE)
+
+    def test_upgrade_blocked_by_other_sharer(self, locks):
+        locks.acquire(1, "k", LockMode.SHARED)
+        locks.acquire(2, "k", LockMode.SHARED)
+        assert not locks.acquire(1, "k", LockMode.EXCLUSIVE)
+
+    def test_locks_held_listing(self, locks):
+        locks.acquire(1, "a", LockMode.SHARED)
+        locks.acquire(1, "b", LockMode.EXCLUSIVE)
+        assert locks.locks_held(1) == {"a", "b"}
+
+
+class TestReleaseAndWaiters:
+    def test_release_grants_waiter(self, locks):
+        locks.acquire(1, "k", LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, "k", LockMode.EXCLUSIVE)
+        granted = locks.release_all(1)
+        assert (2, "k", LockMode.EXCLUSIVE) in granted
+        assert locks.holders("k") == {2: LockMode.EXCLUSIVE}
+
+    def test_release_grants_multiple_shared_waiters(self, locks):
+        locks.acquire(1, "k", LockMode.EXCLUSIVE)
+        locks.acquire(2, "k", LockMode.SHARED)
+        locks.acquire(3, "k", LockMode.SHARED)
+        granted = locks.release_all(1)
+        grantees = {txn for txn, _key, _mode in granted}
+        assert grantees == {2, 3}
+
+    def test_release_all_clears_waits_for(self, locks):
+        locks.acquire(1, "k", LockMode.EXCLUSIVE)
+        locks.acquire(2, "k", LockMode.EXCLUSIVE)
+        locks.release_all(2)
+        assert not locks.is_waiting(2)
+
+    def test_stats_lock_waits(self, locks):
+        locks.acquire(1, "k", LockMode.EXCLUSIVE)
+        locks.acquire(2, "k", LockMode.SHARED)
+        assert locks.stats_lock_waits == 1
+
+
+class TestDeadlockDetection:
+    def test_two_party_deadlock_detected(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        assert not locks.acquire(1, "b", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockError) as err:
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        assert set(err.value.cycle) >= {1, 2}
+        assert locks.stats_deadlocks == 1
+
+    def test_three_party_deadlock_detected(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        locks.acquire(3, "c", LockMode.EXCLUSIVE)
+        locks.acquire(1, "b", LockMode.EXCLUSIVE)
+        locks.acquire(2, "c", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockError):
+            locks.acquire(3, "a", LockMode.EXCLUSIVE)
+
+    def test_no_false_deadlock_on_simple_wait(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        # Transaction 2 waits but no cycle exists.
+        assert locks.is_waiting(2)
+
+    def test_victim_can_retry_after_holder_releases(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        locks.acquire(1, "b", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        # Victim (2) releases everything; 1 gets b and can finish.
+        granted = locks.release_all(2)
+        assert (1, "b", LockMode.EXCLUSIVE) in granted

@@ -1,0 +1,121 @@
+"""Shared fixtures for the test suite.
+
+The fixtures deliberately use tiny ORAM trees and small batches so that unit
+and integration tests run quickly while still exercising evictions, early
+reshuffles and multi-epoch behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import Read, Write
+from repro.core.config import ObladiConfig, RingOramConfig
+from repro.core.proxy import ObladiProxy
+from repro.oram.crypto import CipherSuite
+from repro.oram.parameters import RingOramParameters
+from repro.oram.ring_oram import RingOram
+from repro.sim.clock import SimClock
+from repro.storage.memory import InMemoryStorageServer
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def storage(clock):
+    """In-memory storage with the LAN ``server`` latency model."""
+    return InMemoryStorageServer(latency="server", clock=clock)
+
+
+@pytest.fixture
+def tiny_params():
+    """A tiny but non-trivial Ring ORAM: Z=4, S=6, A=3, depth 4."""
+    return RingOramParameters(num_blocks=64, z_real=4, s_dummies=6, evict_rate=3,
+                              depth=4, block_size=64)
+
+
+@pytest.fixture
+def tiny_oram(tiny_params, storage, clock):
+    """A sequential Ring ORAM over the tiny tree with a deterministic seed."""
+    cipher = CipherSuite(block_size=tiny_params.block_size + 8)
+    return RingOram(tiny_params, storage, cipher=cipher, clock=clock, seed=42)
+
+
+@pytest.fixture
+def small_config():
+    """A small Obladi proxy configuration used by core/integration tests."""
+    return ObladiConfig(
+        oram=RingOramConfig(num_blocks=256, z_real=4, block_size=128),
+        read_batches=3,
+        read_batch_size=8,
+        write_batch_size=8,
+        batch_interval_ms=5.0,
+        backend="server",
+        durability=False,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def durable_config():
+    """Like ``small_config`` but with durability (WAL + checkpoints) enabled."""
+    return ObladiConfig(
+        oram=RingOramConfig(num_blocks=256, z_real=4, block_size=128),
+        read_batches=3,
+        read_batch_size=8,
+        write_batch_size=8,
+        batch_interval_ms=5.0,
+        backend="server",
+        durability=True,
+        checkpoint_frequency=2,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def proxy(small_config):
+    """An Obladi proxy preloaded with 30 keys ``k0..k29`` -> ``value-i``."""
+    proxy = ObladiProxy(small_config)
+    proxy.load_initial_data({f"k{i}": f"value-{i}".encode() for i in range(30)})
+    return proxy
+
+
+@pytest.fixture
+def durable_proxy(durable_config):
+    proxy = ObladiProxy(durable_config)
+    proxy.load_initial_data({f"k{i}": f"value-{i}".encode() for i in range(30)})
+    return proxy
+
+
+def read_program(key):
+    """A transaction program that reads one key and returns its value."""
+
+    def program():
+        value = yield Read(key)
+        return value
+
+    return program
+
+
+def write_program(key, value):
+    """A transaction program that writes one key."""
+
+    def program():
+        yield Write(key, value)
+        return True
+
+    return program
+
+
+def read_write_program(read_key, write_key, value):
+    """Read one key, then write another; returns the read value."""
+
+    def program():
+        observed = yield Read(read_key)
+        yield Write(write_key, value)
+        return observed
+
+    return program

@@ -1,0 +1,95 @@
+"""Tests for read/write batch assembly."""
+
+import pytest
+
+from repro.core.batch_manager import BatchManager, ReadBatch
+from repro.core.errors import BatchFullError
+
+
+@pytest.fixture
+def manager():
+    return BatchManager(read_batches=3, read_batch_size=4, write_batch_size=4)
+
+
+class TestReadScheduling:
+    def test_reads_fill_current_batch_first(self, manager):
+        assert manager.schedule_read("a") == 0
+        assert manager.schedule_read("b") == 0
+
+    def test_duplicate_key_shares_slot(self, manager):
+        manager.schedule_read("a")
+        index = manager.schedule_read("a")
+        assert index == 0
+        assert manager.stats_deduplicated == 1
+        assert len(manager.peek_batch(0).keys) == 1
+
+    def test_overflow_spills_to_next_batch(self, manager):
+        for key in "abcd":
+            manager.schedule_read(key)
+        assert manager.schedule_read("e") == 1
+
+    def test_epoch_capacity_exhaustion_raises(self, manager):
+        for i in range(12):
+            manager.schedule_read(f"k{i}")
+        with pytest.raises(BatchFullError):
+            manager.schedule_read("overflow")
+
+    def test_dispatch_advances_current_batch(self, manager):
+        manager.schedule_read("a")
+        batch = manager.dispatch_next()
+        assert batch.index == 0
+        assert batch.dispatched
+        assert manager.current_index == 1
+        assert manager.schedule_read("b") == 1
+
+    def test_dispatched_batch_rejects_new_keys(self, manager):
+        batch = manager.dispatch_next()
+        with pytest.raises(ValueError):
+            batch.add("late")
+
+    def test_dispatch_all_batches_then_none(self, manager):
+        for _ in range(3):
+            assert manager.dispatch_next() is not None
+        assert manager.dispatch_next() is None
+        assert manager.all_dispatched()
+
+    def test_padding_counted_at_dispatch(self, manager):
+        manager.schedule_read("a")
+        manager.dispatch_next()
+        assert manager.stats_padded == 3
+
+    def test_reset_epoch_clears_state(self, manager):
+        manager.schedule_read("a")
+        manager.dispatch_next()
+        manager.reset_epoch()
+        assert manager.current_index == 0
+        assert manager.batches_remaining() == 3
+        assert manager.schedule_read("a") == 0
+
+    def test_batches_remaining(self, manager):
+        assert manager.batches_remaining() == 3
+        manager.dispatch_next()
+        assert manager.batches_remaining() == 2
+
+
+class TestWriteBatch:
+    def test_build_write_batch_sorted(self, manager):
+        batch = manager.build_write_batch({"b": b"2", "a": b"1"})
+        assert list(batch) == ["a", "b"]
+
+    def test_tombstones_become_empty_payloads(self, manager):
+        batch = manager.build_write_batch({"gone": None})
+        assert batch["gone"] == b""
+
+    def test_overflow_raises(self, manager):
+        items = {f"k{i}": b"v" for i in range(5)}
+        with pytest.raises(BatchFullError):
+            manager.build_write_batch(items)
+
+    def test_write_batch_padding(self, manager):
+        assert manager.write_batch_padding(1) == 3
+        assert manager.write_batch_padding(10) == 0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            BatchManager(read_batches=0, read_batch_size=4, write_batch_size=4)

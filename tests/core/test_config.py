@@ -1,0 +1,82 @@
+"""Tests for Obladi configuration."""
+
+import pytest
+
+from repro.core.config import ObladiConfig, RingOramConfig
+
+
+class TestRingOramConfig:
+    def test_to_parameters_uses_published_optima(self):
+        params = RingOramConfig(num_blocks=1000, z_real=16).to_parameters()
+        assert params.evict_rate == 20
+        assert params.s_dummies == 25
+
+    def test_overrides_respected(self):
+        params = RingOramConfig(num_blocks=100, z_real=4, evict_rate=2,
+                                s_dummies=8, max_stash_blocks=64).to_parameters()
+        assert params.evict_rate == 2
+        assert params.s_dummies == 8
+        assert params.stash_bound == 64
+
+
+class TestObladiConfig:
+    def test_defaults_are_valid(self):
+        config = ObladiConfig()
+        assert config.epoch_read_capacity == config.read_batches * config.read_batch_size
+
+    def test_epoch_length(self):
+        config = ObladiConfig(read_batches=4, batch_interval_ms=10.0)
+        assert config.epoch_length_ms == pytest.approx(40.0)
+
+    def test_position_delta_padding_covers_epoch_capacity(self):
+        config = ObladiConfig(read_batches=2, read_batch_size=10, write_batch_size=5)
+        assert config.position_delta_pad_entries == 25
+
+    def test_with_backend_copies(self):
+        config = ObladiConfig(backend="server")
+        wan = config.with_backend("server_wan")
+        assert wan.backend == "server_wan"
+        assert config.backend == "server"
+        assert wan.read_batches == config.read_batches
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ObladiConfig(read_batches=0)
+        with pytest.raises(ValueError):
+            ObladiConfig(read_batch_size=0)
+        with pytest.raises(ValueError):
+            ObladiConfig(batch_interval_ms=-1)
+        with pytest.raises(ValueError):
+            ObladiConfig(parallelism=0)
+        with pytest.raises(ValueError):
+            ObladiConfig(checkpoint_frequency=0)
+
+    def test_describe_mentions_batching(self):
+        text = ObladiConfig().describe()
+        assert "b_read" in text and "backend" in text
+
+
+class TestWorkloadPresets:
+    def test_tpcc_preset_has_deep_epochs_and_large_write_batch(self):
+        tpcc = ObladiConfig.for_workload("tpcc")
+        smallbank = ObladiConfig.for_workload("smallbank")
+        assert tpcc.read_batches > smallbank.read_batches
+        assert tpcc.write_batch_size > smallbank.write_batch_size
+
+    def test_freehealth_preset_is_read_mostly(self):
+        freehealth = ObladiConfig.for_workload("freehealth")
+        assert freehealth.write_batch_size < freehealth.epoch_read_capacity
+
+    def test_preset_overrides(self):
+        config = ObladiConfig.for_workload("ycsb", read_batch_size=123, backend="dynamo")
+        assert config.read_batch_size == 123
+        assert config.backend == "dynamo"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            ObladiConfig.for_workload("olap")
+
+    def test_custom_oram_config_accepted(self):
+        oram = RingOramConfig(num_blocks=50, z_real=4)
+        config = ObladiConfig.for_workload("smallbank", oram=oram)
+        assert config.oram.num_blocks == 50

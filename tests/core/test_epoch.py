@@ -1,0 +1,59 @@
+"""Tests for epoch bookkeeping."""
+
+import pytest
+
+from repro.concurrency.transaction import TransactionRecord
+from repro.core.epoch import EpochPhase, EpochState, EpochSummary
+
+
+def make_txn(txn_id=1):
+    return TransactionRecord(txn_id=txn_id, timestamp=txn_id, epoch=0)
+
+
+class TestEpochState:
+    def test_admit_records_transaction(self):
+        state = EpochState(epoch_id=0)
+        state.admit(make_txn(1))
+        assert 1 in state.transactions
+
+    def test_admit_rejected_after_finish(self):
+        state = EpochState(epoch_id=0)
+        state.finish(EpochPhase.COMMITTED, now_ms=5.0)
+        with pytest.raises(ValueError):
+            state.admit(make_txn(2))
+
+    def test_record_read_batch(self):
+        state = EpochState(epoch_id=0)
+        state.record_read_batch(["a", "b"])
+        state.record_read_batch(["c"])
+        assert state.read_batches_dispatched == 2
+        assert state.physical_read_keys[1] == ["c"]
+
+    def test_finish_requires_terminal_phase(self):
+        state = EpochState(epoch_id=0)
+        with pytest.raises(ValueError):
+            state.finish(EpochPhase.OPEN, now_ms=1.0)
+
+    def test_duration(self):
+        state = EpochState(epoch_id=0, start_ms=10.0)
+        state.finish(EpochPhase.COMMITTED, now_ms=35.0)
+        assert state.duration_ms == pytest.approx(25.0)
+
+    def test_counts(self):
+        state = EpochState(epoch_id=0)
+        state.committed_txn_ids.extend([1, 2])
+        state.aborted_txn_ids.append(3)
+        assert state.committed_count() == 2
+        assert state.aborted_count() == 1
+
+
+class TestEpochSummary:
+    def test_from_state(self):
+        state = EpochState(epoch_id=3, start_ms=0.0)
+        state.committed_txn_ids.append(1)
+        state.finish(EpochPhase.COMMITTED, now_ms=12.0)
+        summary = EpochSummary.from_state(state, physical_reads=100, physical_writes=40)
+        assert summary.epoch_id == 3
+        assert summary.committed == 1
+        assert summary.physical_reads == 100
+        assert summary.duration_ms == pytest.approx(12.0)

@@ -1,0 +1,54 @@
+"""Tests for the report renderer."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.harness.report import render_table, rows_to_dicts
+
+
+@dataclass
+class Row:
+    name: str
+    value: float
+    count: int
+
+
+class TestRowsToDicts:
+    def test_dataclass_rows(self):
+        rows = rows_to_dicts([Row("a", 1.5, 2)])
+        assert rows == [{"name": "a", "value": 1.5, "count": 2}]
+
+    def test_dict_rows_pass_through(self):
+        rows = rows_to_dicts([{"x": 1}])
+        assert rows == [{"x": 1}]
+
+    def test_unsupported_row_type_rejected(self):
+        with pytest.raises(TypeError):
+            rows_to_dicts(["not-a-row"])
+
+
+class TestRenderTable:
+    def test_renders_title_and_columns(self):
+        text = render_table([Row("alpha", 2.0, 3)], title="My Table")
+        assert "My Table" in text
+        assert "name" in text and "value" in text
+        assert "alpha" in text
+
+    def test_column_subset_and_order(self):
+        text = render_table([Row("alpha", 2.0, 3)], columns=["count", "name"])
+        header = text.splitlines()[0]
+        assert header.index("count") < header.index("name")
+        assert "value" not in header
+
+    def test_large_numbers_formatted_with_separators(self):
+        text = render_table([Row("x", 123456.0, 1)])
+        assert "123,456" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([], title="Empty")
+
+    def test_alignment_consistent(self):
+        text = render_table([Row("a", 1.0, 1), Row("bbbb", 22.0, 22)])
+        lines = [line for line in text.splitlines() if line.strip()]
+        assert len({len(line) for line in lines[1:]}) <= 2

@@ -1,0 +1,113 @@
+"""Tests for block sealing, authentication and padding."""
+
+import pytest
+
+from repro.oram.crypto import CipherSuite, IntegrityError, freshness_context
+
+
+@pytest.fixture
+def suite():
+    return CipherSuite(key=b"k" * 32, block_size=64)
+
+
+class TestPadding:
+    def test_pad_produces_fixed_size(self, suite):
+        assert len(suite.pad(b"hello")) == 64
+        assert len(suite.pad(b"")) == 64
+
+    def test_pad_unpad_roundtrip(self, suite):
+        for payload in (b"", b"x", b"a" * 60):
+            assert suite.unpad(suite.pad(payload)) == payload
+
+    def test_pad_rejects_oversized_payload(self, suite):
+        with pytest.raises(ValueError):
+            suite.pad(b"x" * 61)
+
+    def test_unpad_rejects_wrong_length(self, suite):
+        with pytest.raises(ValueError):
+            suite.unpad(b"short")
+
+
+class TestEncryption:
+    def test_encrypt_decrypt_roundtrip(self, suite):
+        blob = suite.encrypt(b"secret data")
+        assert suite.decrypt(blob) == b"secret data"
+
+    def test_ciphertexts_are_fixed_size(self, suite):
+        assert len(suite.encrypt(b"a")) == suite.ciphertext_size
+        assert len(suite.encrypt(b"a" * 50)) == suite.ciphertext_size
+
+    def test_ciphertexts_are_randomised(self, suite):
+        assert suite.encrypt(b"same") != suite.encrypt(b"same")
+
+    def test_wrong_key_fails_authentication(self):
+        a = CipherSuite(key=b"a" * 32, block_size=64)
+        b = CipherSuite(key=b"b" * 32, block_size=64)
+        with pytest.raises(IntegrityError):
+            b.decrypt(a.encrypt(b"data"))
+
+    def test_tampered_ciphertext_rejected(self, suite):
+        blob = bytearray(suite.encrypt(b"data"))
+        blob[20] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            suite.decrypt(bytes(blob))
+
+    def test_context_binding(self, suite):
+        blob = suite.encrypt(b"data", context=freshness_context(1, 2, 3))
+        assert suite.decrypt(blob, context=freshness_context(1, 2, 3)) == b"data"
+        with pytest.raises(IntegrityError):
+            suite.decrypt(blob, context=freshness_context(1, 2, 4))
+
+    def test_unauthenticated_mode_skips_macs(self):
+        suite = CipherSuite(key=b"k" * 32, block_size=64, authenticated=False)
+        blob = suite.encrypt(b"data")
+        assert suite.decrypt(blob) == b"data"
+        assert len(blob) == suite.ciphertext_size
+
+    def test_disabled_mode_only_pads(self):
+        suite = CipherSuite(block_size=64, enabled=False)
+        blob = suite.encrypt(b"data")
+        assert len(blob) == 64
+        assert suite.decrypt(blob) == b"data"
+
+    def test_wrong_length_ciphertext_rejected(self, suite):
+        with pytest.raises(IntegrityError):
+            suite.decrypt(b"\x00" * (suite.ciphertext_size - 1))
+
+
+class TestBlockSealing:
+    def test_seal_open_real_block(self, suite):
+        blob = suite.seal_block(42, b"value")
+        block_id, value = suite.open_block(blob)
+        assert block_id == 42
+        assert value == b"value"
+
+    def test_seal_open_dummy_block(self, suite):
+        block_id, value = suite.open_block(suite.dummy_block())
+        assert block_id is None
+        assert value == b""
+
+    def test_real_and_dummy_blocks_same_size(self, suite):
+        real = suite.seal_block(7, b"payload")
+        dummy = suite.dummy_block()
+        assert len(real) == len(dummy)
+
+    def test_sealed_block_bound_to_position(self, suite):
+        ctx = freshness_context(bucket=3, version=1, slot=5)
+        blob = suite.seal_block(9, b"v", ctx)
+        with pytest.raises(IntegrityError):
+            suite.open_block(blob, freshness_context(bucket=3, version=2, slot=5))
+
+    def test_key_generated_when_missing(self):
+        suite = CipherSuite(block_size=32)
+        assert len(suite.key) == 32
+
+
+class TestFreshnessContext:
+    def test_distinct_positions_distinct_contexts(self):
+        contexts = {freshness_context(b, v, s) for b in range(3) for v in range(3)
+                    for s in range(3)}
+        assert len(contexts) == 27
+
+    def test_context_is_deterministic(self):
+        assert freshness_context(1, 2, 3) == freshness_context(1, 2, 3)

@@ -1,0 +1,134 @@
+"""Tests for per-bucket metadata (permutations, valid bits, versions)."""
+
+import random
+
+import pytest
+
+from repro.oram.metadata import BucketMeta, MetadataTable, SlotInfo
+
+
+@pytest.fixture
+def table():
+    return MetadataTable(num_buckets=15, z_real=4, s_dummies=6, rng=random.Random(2))
+
+
+class TestBucketLayout:
+    def test_fresh_bucket_has_all_slots(self, table):
+        meta = table.bucket(0)
+        assert len(meta.slots) == 10
+        assert meta.version == 0
+        assert meta.reads_since_write == 0
+
+    def test_fresh_bucket_is_all_dummies(self, table):
+        meta = table.bucket(3)
+        assert meta.real_block_ids() == []
+        assert len(meta.valid_dummy_slots()) == 10
+
+    def test_out_of_range_bucket_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.bucket(15)
+
+    def test_rewrite_installs_contents(self, table):
+        meta = table.rewrite_bucket(1, [(10, b"a"), (11, b"b")])
+        assert sorted(meta.real_block_ids()) == [10, 11]
+        assert meta.version == 1
+        assert meta.reads_since_write == 0
+
+    def test_rewrite_rejects_overflow(self, table):
+        contents = [(i, b"x") for i in range(5)]
+        with pytest.raises(ValueError):
+            table.rewrite_bucket(1, contents)
+
+    def test_rewrite_shuffles_slot_positions(self):
+        # With a non-trivial RNG the block does not always land in slot 0.
+        positions = set()
+        for seed in range(10):
+            table = MetadataTable(3, 2, 2, rng=random.Random(seed))
+            meta = table.rewrite_bucket(0, [(1, b"v")])
+            positions.add(meta.slot_of_block(1))
+        assert len(positions) > 1
+
+    def test_versions_increase_monotonically(self, table):
+        table.rewrite_bucket(2, [])
+        table.rewrite_bucket(2, [(1, b"v")])
+        assert table.bucket(2).version == 2
+
+
+class TestSlotAccounting:
+    def test_slot_of_block_finds_valid_slot(self, table):
+        table.rewrite_bucket(0, [(42, b"v")])
+        idx = table.bucket(0).slot_of_block(42)
+        assert idx is not None
+        assert table.bucket(0).slots[idx].block_id == 42
+
+    def test_invalidate_marks_slot(self, table):
+        table.rewrite_bucket(0, [(42, b"v")])
+        meta = table.bucket(0)
+        idx = meta.slot_of_block(42)
+        meta.invalidate(idx)
+        assert meta.slot_of_block(42) is None
+
+    def test_double_invalidate_rejected(self, table):
+        meta = table.bucket(0)
+        meta.invalidate(0)
+        with pytest.raises(ValueError):
+            meta.invalidate(0)
+
+    def test_needs_reshuffle_after_s_reads(self, table):
+        meta = table.bucket(0)
+        meta.reads_since_write = 6
+        assert meta.needs_reshuffle(s_dummies=6)
+        meta.reads_since_write = 5
+        assert not meta.needs_reshuffle(s_dummies=6)
+
+    def test_valid_real_block_ids_excludes_invalidated(self, table):
+        table.rewrite_bucket(0, [(1, b"a"), (2, b"b")])
+        meta = table.bucket(0)
+        meta.invalidate(meta.slot_of_block(1))
+        assert meta.valid_real_block_ids() == [2]
+
+
+class TestSerialization:
+    def test_full_roundtrip(self, table):
+        table.rewrite_bucket(0, [(1, b"a")])
+        table.rewrite_bucket(7, [(2, b"b")])
+        table.bucket(7).invalidate(table.bucket(7).slot_of_block(2))
+        restored = MetadataTable.deserialize_full(table.serialize_full())
+        assert restored.bucket(0).real_block_ids() == [1]
+        assert restored.bucket(7).slot_of_block(2) is None
+        assert restored.bucket(7).version == 1
+
+    def test_delta_contains_only_dirty_buckets(self, table):
+        table.rewrite_bucket(0, [(1, b"a")])
+        table.clear_dirty()
+        table.rewrite_bucket(3, [(2, b"b")])
+        other = MetadataTable(15, 4, 6)
+        applied = other.apply_delta(table.serialize_delta())
+        assert applied == 1
+        assert other.bucket(3).real_block_ids() == [2]
+        assert other.bucket(0).real_block_ids() == []
+
+    def test_valid_map_roundtrip(self, table):
+        table.rewrite_bucket(0, [(1, b"a")])
+        meta = table.bucket(0)
+        meta.invalidate(0)
+        blob = table.serialize_valid_map()
+        other = MetadataTable(15, 4, 6)
+        other.rewrite_bucket(0, [(1, b"a")])
+        other.apply_valid_map(blob)
+        assert other.bucket(0).slots[0].valid is False
+
+    def test_bucket_row_roundtrip(self):
+        meta = BucketMeta(bucket_id=3, slots=[SlotInfo(5, True), SlotInfo(None, False)],
+                          reads_since_write=2, version=7)
+        restored = BucketMeta.from_row(meta.to_row())
+        assert restored.bucket_id == 3
+        assert restored.version == 7
+        assert restored.slots[0].block_id == 5
+        assert restored.slots[1].valid is False
+
+    def test_dirty_tracking_cleared(self, table):
+        table.rewrite_bucket(0, [])
+        assert table.dirty_buckets() == [0]
+        table.clear_dirty()
+        assert table.dirty_buckets() == []

@@ -1,0 +1,125 @@
+"""Tests for tree geometry and the deterministic eviction schedule."""
+
+import pytest
+
+from repro.oram import path_math
+
+
+class TestTreeGeometry:
+    def test_tree_levels_power_of_two(self):
+        assert path_math.tree_levels(1) == 0
+        assert path_math.tree_levels(8) == 3
+        assert path_math.tree_levels(1024) == 10
+
+    def test_tree_levels_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            path_math.tree_levels(6)
+
+    def test_num_buckets(self):
+        assert path_math.num_buckets(0) == 1
+        assert path_math.num_buckets(3) == 15
+
+    def test_bucket_id_round_trip(self):
+        for level in range(5):
+            for index in range(1 << level):
+                bid = path_math.bucket_id(level, index)
+                assert path_math.bucket_level(bid) == level
+                assert path_math.bucket_index_in_level(bid) == index
+
+    def test_bucket_id_out_of_range(self):
+        with pytest.raises(ValueError):
+            path_math.bucket_id(2, 4)
+
+    def test_root_is_bucket_zero(self):
+        assert path_math.bucket_id(0, 0) == 0
+
+
+class TestPaths:
+    def test_path_starts_at_root_and_ends_at_leaf(self):
+        depth = 4
+        buckets = path_math.path_buckets(leaf=5, depth=depth)
+        assert buckets[0] == 0
+        assert len(buckets) == depth + 1
+        assert path_math.bucket_level(buckets[-1]) == depth
+
+    def test_adjacent_levels_are_parent_child(self):
+        buckets = path_math.path_buckets(leaf=11, depth=4)
+        for parent, child in zip(buckets, buckets[1:]):
+            assert (child - 1) // 2 == parent
+
+    def test_all_paths_distinct_leaves(self):
+        depth = 3
+        leaves = {path_math.path_buckets(leaf, depth)[-1] for leaf in range(1 << depth)}
+        assert len(leaves) == 1 << depth
+
+    def test_leaf_out_of_range(self):
+        with pytest.raises(ValueError):
+            path_math.path_buckets(leaf=8, depth=3)
+
+    def test_bucket_on_path(self):
+        depth = 3
+        buckets = path_math.path_buckets(leaf=6, depth=depth)
+        for bid in buckets:
+            assert path_math.bucket_on_path(bid, 6, depth)
+        assert not path_math.bucket_on_path(buckets[-1], 5, depth)
+
+    def test_deepest_common_level_same_leaf(self):
+        assert path_math.deepest_common_level(5, 5, 4) == 4
+
+    def test_deepest_common_level_root_only(self):
+        # Leaves 0 and 2^d - 1 share only the root.
+        assert path_math.deepest_common_level(0, 15, 4) == 0
+
+    def test_deepest_common_level_partial(self):
+        # Leaves 0b100 and 0b101 share the top two levels plus the root.
+        assert path_math.deepest_common_level(4, 5, 3) == 2
+
+
+class TestEvictionSchedule:
+    def test_reverse_bits(self):
+        assert path_math.reverse_bits(0b001, 3) == 0b100
+        assert path_math.reverse_bits(0b110, 3) == 0b011
+        assert path_math.reverse_bits(0, 4) == 0
+
+    def test_reverse_bits_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            path_math.reverse_bits(8, 3)
+
+    def test_eviction_path_cycles_through_all_leaves(self):
+        depth = 3
+        visited = {path_math.eviction_path(g, depth) for g in range(1 << depth)}
+        assert visited == set(range(1 << depth))
+
+    def test_eviction_path_is_periodic(self):
+        depth = 4
+        for g in range(40):
+            assert path_math.eviction_path(g, depth) == path_math.eviction_path(
+                g + (1 << depth), depth)
+
+    def test_consecutive_evictions_spread_across_subtrees(self):
+        # Reverse-lexicographic order alternates between left and right
+        # subtrees, which is what balances bucket rewrites.
+        depth = 3
+        first, second = path_math.eviction_path(0, depth), path_math.eviction_path(1, depth)
+        assert (first < 4) != (second < 4)
+
+    def test_eviction_count_root_equals_g(self):
+        assert path_math.eviction_count_for_bucket(0, 17, 5) == 17
+
+    def test_eviction_count_matches_enumeration(self):
+        depth = 4
+        for g_total in (0, 1, 5, 16, 33):
+            observed = {bid: 0 for bid in range(path_math.num_buckets(depth))}
+            for g in range(g_total):
+                for bid in path_math.path_buckets(path_math.eviction_path(g, depth), depth):
+                    observed[bid] += 1
+            for bid, count in observed.items():
+                assert path_math.eviction_count_for_bucket(bid, g_total, depth) == count, (
+                    f"bucket {bid} at G={g_total}")
+
+    def test_level_l_bucket_written_once_per_period(self):
+        depth = 4
+        for level in range(depth + 1):
+            bid = path_math.bucket_id(level, 0)
+            per_period = (path_math.eviction_count_for_bucket(bid, 1 << depth, depth))
+            assert per_period == (1 << depth) >> level

@@ -1,0 +1,105 @@
+"""Property-based tests for concurrency control invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.concurrency.mvtso import MVTSOManager, WriteConflictError
+from repro.concurrency.serializability import check_serializable
+from repro.concurrency.transaction import AbortReason, CommittedTransaction, TransactionStatus
+from repro.sim.scheduler import ParallelScheduler, ScheduledOp
+
+
+#: One randomly generated transaction: a list of (is_write, key) operations.
+txn_strategy = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=5)),
+    min_size=1, max_size=5,
+)
+
+
+class TestMVTSOSerializability:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(txn_strategy, min_size=1, max_size=8), st.integers(0, 2**16))
+    def test_every_committed_history_is_serializable(self, transactions, seed):
+        """Interleave random transactions through MVTSO; committed results must
+        always form an acyclic serialization graph."""
+        mgr = MVTSOManager()
+        rng = random.Random(seed)
+        runners = []
+        for ops in transactions:
+            runners.append({"record": mgr.begin(epoch=0), "ops": list(ops)})
+
+        active = [r for r in runners]
+        while active:
+            runner = rng.choice(active)
+            record = runner["record"]
+            if record.is_finished:
+                active.remove(runner)
+                continue
+            if not runner["ops"]:
+                if record.status is TransactionStatus.ACTIVE:
+                    record.request_commit()
+                if mgr.can_commit(record):
+                    deps = [mgr.transactions[d] for d in record.dependencies]
+                    if all(d.is_finished for d in deps):
+                        mgr.commit(record)
+                    elif rng.random() < 0.3:
+                        mgr.abort(record, AbortReason.USER)
+                else:
+                    mgr.abort(record, AbortReason.CASCADE)
+                if record.is_finished:
+                    active.remove(runner)
+                continue
+            is_write, key_index = runner["ops"].pop(0)
+            key = f"key{key_index}"
+            if is_write:
+                try:
+                    mgr.write(record, key, f"{record.txn_id}".encode())
+                except WriteConflictError:
+                    mgr.abort(record, AbortReason.WRITE_CONFLICT)
+                    active.remove(runner)
+            else:
+                mgr.read(record, key)
+
+        history = [CommittedTransaction.from_record(r["record"]) for r in runners
+                   if r["record"].status is TransactionStatus.COMMITTED]
+        ok, cycle = check_serializable(history)
+        assert ok, f"cycle {cycle}"
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=10))
+    def test_no_committed_reader_of_aborted_writer(self, key_indexes):
+        """Recoverability: a committed transaction never observed aborted data."""
+        mgr = MVTSOManager()
+        writer = mgr.begin(epoch=0)
+        readers = [mgr.begin(epoch=0) for _ in key_indexes]
+        for key_index in set(key_indexes):
+            mgr.write(writer, f"k{key_index}", b"dirty")
+        for reader, key_index in zip(readers, key_indexes):
+            mgr.read(reader, f"k{key_index}")
+        mgr.abort(writer, AbortReason.USER)
+        for reader in readers:
+            assert reader.status is TransactionStatus.ABORTED
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30),
+           st.integers(min_value=1, max_value=8))
+    def test_makespan_bounds(self, durations, workers):
+        """Makespan lies between max(duration) and sum(durations), and more
+        workers never hurt."""
+        ops = [ScheduledOp(i, d) for i, d in enumerate(durations)]
+        narrow = ParallelScheduler(workers).schedule(ops).makespan_ms
+        wide = ParallelScheduler(workers * 2).schedule(ops).makespan_ms
+        assert narrow >= max(durations) - 1e-9
+        assert narrow <= sum(durations) + 1e-9
+        assert wide <= narrow + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=2, max_size=20))
+    def test_chain_makespan_is_sum(self, durations):
+        ops = [ScheduledOp(i, d, deps=(i - 1,) if i else ()) for i, d in enumerate(durations)]
+        result = ParallelScheduler(4).schedule(ops)
+        assert abs(result.makespan_ms - sum(durations)) < 1e-6

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the Ring ORAM substrate."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.oram import path_math
+from repro.oram.crypto import CipherSuite
+from repro.oram.parameters import RingOramParameters, derive_parameters
+from repro.oram.ring_oram import RingOram
+from repro.sim.clock import SimClock
+from repro.storage.memory import InMemoryStorageServer
+
+
+def build_oram(seed, depth=3, z=4, s=6, a=3, dummiless=False):
+    clock = SimClock()
+    storage = InMemoryStorageServer(latency="dummy", clock=clock, record_trace=False)
+    params = RingOramParameters(num_blocks=z << depth, z_real=z, s_dummies=s,
+                                evict_rate=a, depth=depth, block_size=64)
+    return RingOram(params, storage, cipher=CipherSuite(block_size=72), clock=clock,
+                    seed=seed, dummiless_writes=dummiless)
+
+
+class TestPathMathProperties:
+    @given(st.integers(min_value=0, max_value=2**10 - 1), st.integers(min_value=1, max_value=10))
+    def test_every_bucket_on_path_contains_the_leaf(self, leaf, depth):
+        leaf = leaf % (1 << depth)
+        buckets = path_math.path_buckets(leaf, depth)
+        assert len(buckets) == depth + 1
+        for bucket in buckets:
+            assert path_math.bucket_on_path(bucket, leaf, depth)
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=8))
+    def test_eviction_count_closed_form_matches_simulation(self, total, depth):
+        total = total % 200
+        observed = {bid: 0 for bid in range(path_math.num_buckets(depth))}
+        for g in range(total):
+            for bid in path_math.path_buckets(path_math.eviction_path(g, depth), depth):
+                observed[bid] += 1
+        for bid, count in observed.items():
+            assert path_math.eviction_count_for_bucket(bid, total, depth) == count
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1), st.integers(min_value=1, max_value=16))
+    def test_reverse_bits_is_an_involution(self, value, width):
+        value = value % (1 << width)
+        assert path_math.reverse_bits(path_math.reverse_bits(value, width), width) == value
+
+    @given(st.integers(min_value=1, max_value=200_000), st.integers(min_value=1, max_value=128))
+    def test_derived_tree_always_fits_the_blocks(self, blocks, z):
+        params = derive_parameters(num_blocks=blocks, z_real=z)
+        assert params.z_real * params.num_leaves >= blocks
+        assert params.s_dummies >= 1
+        assert params.evict_rate >= 1
+
+
+class TestOramProperties:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=15), st.binary(min_size=1, max_size=12)),
+                    min_size=1, max_size=60),
+           st.integers(min_value=0, max_value=2**16))
+    def test_oram_behaves_like_a_dictionary(self, operations, seed):
+        """Writes followed by reads always return the latest written value."""
+        oram = build_oram(seed)
+        reference = {}
+        rng = random.Random(seed)
+        for block, value in operations:
+            if reference and rng.random() < 0.4:
+                probe = rng.choice(sorted(reference))
+                assert oram.read(probe) == reference[probe]
+            oram.write(block, value)
+            reference[block] = value
+        for block, value in sorted(reference.items()):
+            assert oram.read(block) == value
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=80),
+           st.integers(min_value=0, max_value=2**16))
+    def test_path_invariant_always_holds(self, accesses, seed):
+        """After any access sequence every block is in the stash or on its path."""
+        oram = build_oram(seed, dummiless=True)
+        for block in range(16):
+            oram.write(block, bytes([block]))
+        for block in accesses:
+            oram.read(block)
+        for block in range(16):
+            leaf = oram.position_map.lookup(block)
+            if block in oram.stash or leaf is None:
+                continue
+            found = False
+            for bid in path_math.path_buckets(leaf, oram.params.depth):
+                if block in oram.metadata.bucket(bid).valid_real_block_ids():
+                    found = True
+                    break
+            assert found, f"block {block} neither in stash nor on its path"
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=120),
+           st.integers(min_value=0, max_value=2**16))
+    def test_stash_never_explodes(self, accesses, seed):
+        oram = build_oram(seed, depth=4, dummiless=True)
+        for i, block in enumerate(accesses):
+            oram.write(block, bytes([i % 251]))
+        assert len(oram.stash) <= 6 * oram.params.z_real
+
+
+class TestCryptoProperties:
+    @given(st.binary(min_size=0, max_size=56), st.binary(min_size=8, max_size=32))
+    def test_encrypt_decrypt_identity(self, payload, context):
+        suite = CipherSuite(key=b"key" * 11, block_size=64)
+        assert suite.decrypt(suite.encrypt(payload, context), context) == payload
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1), st.binary(min_size=0, max_size=40))
+    def test_seal_open_identity(self, block_id, value):
+        suite = CipherSuite(key=b"key" * 11, block_size=64)
+        opened_id, opened_value = suite.open_block(suite.seal_block(block_id, value))
+        assert opened_id == block_id
+        assert opened_value == value
+
+    @given(st.binary(min_size=0, max_size=56))
+    def test_ciphertext_length_constant(self, payload):
+        suite = CipherSuite(key=b"key" * 11, block_size=64)
+        assert len(suite.encrypt(payload)) == suite.ciphertext_size

@@ -1,0 +1,103 @@
+"""Tests for the checkpoint store."""
+
+import pytest
+
+from repro.recovery.checkpoint import MANIFEST_KEY, CheckpointManifest, CheckpointStore
+from repro.sim.clock import SimClock
+from repro.storage.memory import InMemoryStorageServer
+
+
+@pytest.fixture
+def storage():
+    return InMemoryStorageServer(latency="dummy", clock=SimClock())
+
+
+@pytest.fixture
+def store(storage):
+    return CheckpointStore(storage)
+
+
+class TestManifest:
+    def test_fresh_manifest_is_empty(self, store):
+        assert store.manifest.last_epoch == -1
+        assert store.chain() == []
+
+    def test_manifest_roundtrip(self):
+        manifest = CheckpointManifest(last_epoch=4, last_full_epoch=2, delta_epochs=[3, 4],
+                                      access_count=100, eviction_count=12)
+        restored = CheckpointManifest.deserialize(manifest.serialize())
+        assert restored == manifest
+
+    def test_manifest_persisted_on_storage(self, store, storage):
+        store.write_checkpoint(0, {"position": b"{}"}, {}, full=True,
+                               access_count=1, eviction_count=0)
+        assert storage.contains(MANIFEST_KEY)
+        reloaded = CheckpointStore(storage, cipher=store.cipher)
+        assert reloaded.manifest.last_epoch == 0
+
+
+class TestWriteAndRead:
+    def test_component_roundtrip_encrypted(self, store):
+        store.write_checkpoint(1, {"position": b"position-data"}, {"valid_map": b"[]"},
+                               full=True, access_count=5, eviction_count=1)
+        assert store.read_component(1, "position", full=True) == b"position-data"
+        assert store.read_component(1, "valid_map", full=True, encrypted=False) == b"[]"
+
+    def test_encrypted_components_unreadable_raw(self, store, storage):
+        store.write_checkpoint(1, {"position": b"plaintext-position"}, {}, full=True,
+                               access_count=0, eviction_count=0)
+        raw = storage.read("ckpt/1/full/position")
+        assert raw != b"plaintext-position"
+
+    def test_missing_component_is_none(self, store):
+        assert store.read_component(9, "position", full=True) is None
+
+    def test_sizes_reported(self, store):
+        sizes = store.write_checkpoint(0, {"position": b"x" * 100, "metadata": b"y" * 50,
+                                           "stash": b"z" * 25},
+                                       {"valid_map": b"v" * 10}, full=True,
+                                       access_count=0, eviction_count=0)
+        assert sizes.position_bytes >= 100
+        assert sizes.metadata_bytes >= 50
+        assert sizes.stash_bytes >= 25
+        assert sizes.valid_map_bytes == 10
+        assert sizes.total_bytes >= 185
+
+
+class TestChain:
+    def test_chain_full_then_deltas(self, store):
+        store.write_checkpoint(0, {"position": b"full"}, {}, full=True,
+                               access_count=0, eviction_count=0)
+        store.write_checkpoint(1, {"position": b"d1"}, {}, full=False,
+                               access_count=0, eviction_count=0)
+        store.write_checkpoint(2, {"position": b"d2"}, {}, full=False,
+                               access_count=0, eviction_count=0)
+        chain = store.chain()
+        assert [(entry["epoch"], entry["full"]) for entry in chain] == [
+            (0, True), (1, False), (2, False)]
+
+    def test_new_full_checkpoint_resets_deltas(self, store):
+        store.write_checkpoint(0, {"position": b"f0"}, {}, full=True,
+                               access_count=0, eviction_count=0)
+        store.write_checkpoint(1, {"position": b"d1"}, {}, full=False,
+                               access_count=0, eviction_count=0)
+        store.write_checkpoint(2, {"position": b"f2"}, {}, full=True,
+                               access_count=0, eviction_count=0)
+        chain = store.chain()
+        assert [(entry["epoch"], entry["full"]) for entry in chain] == [(2, True)]
+
+    def test_counters_stored(self, store):
+        store.write_checkpoint(0, {"position": b"x"}, {}, full=True,
+                               access_count=42, eviction_count=7)
+        assert store.manifest.access_count == 42
+        assert store.manifest.eviction_count == 7
+
+    def test_garbage_collect_removes_old_epochs(self, store, storage):
+        store.write_checkpoint(0, {"position": b"old"}, {}, full=True,
+                               access_count=0, eviction_count=0)
+        store.write_checkpoint(5, {"position": b"new"}, {}, full=True,
+                               access_count=0, eviction_count=0)
+        removed = store.garbage_collect(keep_after_epoch=5)
+        assert removed >= 1
+        assert store.read_component(0, "position", full=True) is None
+        assert store.read_component(5, "position", full=True) == b"new"

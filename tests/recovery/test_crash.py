@@ -1,0 +1,57 @@
+"""Tests for crash injection."""
+
+import pytest
+
+from repro.core.errors import ProxyCrashedError
+from repro.recovery.crash import CrashInjector, CrashPoint
+
+from tests.conftest import read_program
+
+
+class TestCrashInjector:
+    def test_crash_before_first_batch(self, durable_proxy):
+        injector = CrashInjector(durable_proxy, crash_after_batches=0,
+                                 point=CrashPoint.BEFORE_READ_BATCH)
+        injector.arm()
+        durable_proxy.submit(read_program("k1"))
+        with pytest.raises(ProxyCrashedError):
+            durable_proxy.run_epoch()
+        assert durable_proxy.crashed
+        assert injector.fired
+
+    def test_crash_after_n_batches(self, durable_proxy):
+        injector = CrashInjector(durable_proxy, crash_after_batches=2,
+                                 point=CrashPoint.BEFORE_READ_BATCH)
+        injector.arm()
+        durable_proxy.submit(read_program("k1"))
+        # First epoch dispatches 3 batches; the crash fires before the third.
+        with pytest.raises(ProxyCrashedError):
+            durable_proxy.run_epoch()
+        assert injector.fired
+
+    def test_crash_before_checkpoint(self, durable_proxy):
+        injector = CrashInjector(durable_proxy, crash_after_batches=0,
+                                 point=CrashPoint.BEFORE_CHECKPOINT)
+        injector.arm()
+        durable_proxy.submit(read_program("k1"))
+        with pytest.raises(ProxyCrashedError):
+            durable_proxy.run_epoch()
+        assert durable_proxy.crashed
+
+    def test_disarm_restores_normal_operation(self, durable_proxy):
+        injector = CrashInjector(durable_proxy, crash_after_batches=99,
+                                 point=CrashPoint.BEFORE_READ_BATCH)
+        injector.arm()
+        injector.disarm()
+        durable_proxy.submit(read_program("k1"))
+        summary = durable_proxy.run_epoch()
+        assert summary.committed == 1
+
+    def test_no_crash_when_threshold_not_reached(self, durable_proxy):
+        injector = CrashInjector(durable_proxy, crash_after_batches=100,
+                                 point=CrashPoint.BEFORE_READ_BATCH)
+        injector.arm()
+        durable_proxy.submit(read_program("k1"))
+        summary = durable_proxy.run_epoch()
+        assert summary.committed == 1
+        assert not injector.fired

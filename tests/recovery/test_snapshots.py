@@ -1,0 +1,80 @@
+"""Tests for shadow-paging helpers (deterministic versions, garbage collection)."""
+
+import pytest
+
+from repro.oram import path_math
+from repro.recovery.snapshots import (collect_garbage, expected_versions_from_evictions,
+                                      old_version_keys, orphaned_slot_keys)
+from repro.oram.crypto import CipherSuite
+from repro.oram.parameters import RingOramParameters
+from repro.oram.ring_oram import RingOram
+from repro.sim.clock import SimClock
+from repro.storage.memory import InMemoryStorageServer
+
+
+def make_oram():
+    clock = SimClock()
+    storage = InMemoryStorageServer(latency="dummy", clock=clock)
+    params = RingOramParameters(num_blocks=64, z_real=4, s_dummies=6, evict_rate=3,
+                                depth=3, block_size=64)
+    oram = RingOram(params, storage, cipher=CipherSuite(block_size=72), clock=clock, seed=1)
+    return oram, storage
+
+
+class TestDeterministicVersions:
+    def test_matches_closed_form(self):
+        for g in (0, 3, 8, 17):
+            versions = expected_versions_from_evictions(g, depth=3)
+            for bucket, version in versions.items():
+                assert version == path_math.eviction_count_for_bucket(bucket, g, 3)
+
+    def test_root_version_equals_eviction_count(self):
+        versions = expected_versions_from_evictions(9, depth=4)
+        assert versions[0] == 9
+
+    def test_matches_live_oram_without_reshuffles(self):
+        oram, _ = make_oram()
+        for block in range(12):
+            oram.write(block, bytes([block]))
+        if oram.stats_early_reshuffles == 0:
+            expected = expected_versions_from_evictions(oram.eviction_count, oram.params.depth)
+            for bucket in oram.metadata.buckets_present():
+                assert oram.metadata.bucket(bucket).version == expected[bucket]
+
+
+class TestGarbageCollection:
+    def test_no_orphans_in_consistent_state(self):
+        oram, storage = make_oram()
+        for block in range(10):
+            oram.write(block, b"v")
+        assert orphaned_slot_keys(storage, oram.metadata, oram.params.slots_per_bucket) == []
+
+    def test_orphans_detected_and_collected(self):
+        oram, storage = make_oram()
+        for block in range(10):
+            oram.write(block, b"v")
+        # Simulate an aborted epoch that wrote a newer version of the root.
+        future_version = oram.metadata.bucket(0).version + 3
+        storage.write(f"oram/0/v{future_version}/s/0", b"orphan")
+        orphans = orphaned_slot_keys(storage, oram.metadata, oram.params.slots_per_bucket)
+        assert f"oram/0/v{future_version}/s/0" in orphans
+        removed = collect_garbage(storage, oram.metadata, oram.params.slots_per_bucket)
+        assert removed == len(orphans)
+        assert not storage.contains(f"oram/0/v{future_version}/s/0")
+
+    def test_old_versions_listed_for_reclamation(self):
+        oram, storage = make_oram()
+        for block in range(30):
+            oram.write(block, b"v")
+        stale = old_version_keys(storage, oram.metadata, keep_versions=1)
+        current_root_version = oram.metadata.bucket(0).version
+        for key in stale:
+            parts = key.split("/")
+            if parts[1] == "0":
+                assert int(parts[2][1:]) < current_root_version - 1
+
+    def test_non_oram_keys_ignored(self):
+        oram, storage = make_oram()
+        storage.write("wal/1/0", b"log")
+        storage.write("ckpt/manifest", b"{}")
+        assert orphaned_slot_keys(storage, oram.metadata, 10) == []

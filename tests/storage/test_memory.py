@@ -1,0 +1,132 @@
+"""Tests for the in-memory storage server."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.storage.backend import StorageOp
+from repro.storage.memory import InMemoryStorageServer
+
+
+@pytest.fixture
+def server():
+    return InMemoryStorageServer(latency="server", clock=SimClock())
+
+
+class TestReadWrite:
+    def test_read_missing_key_returns_none(self, server):
+        assert server.read("absent") is None
+
+    def test_write_then_read_roundtrip(self, server):
+        server.write("a", b"payload")
+        assert server.read("a") == b"payload"
+
+    def test_write_batch_stores_all_items(self, server):
+        server.write_batch({f"k{i}": bytes([i]) for i in range(10)})
+        assert server.read("k7") == bytes([7])
+        assert len(server.keys()) == 10
+
+    def test_read_batch_returns_none_for_missing(self, server):
+        server.write("a", b"1")
+        result = server.read_batch(["a", "b"])
+        assert result.values["a"] == b"1"
+        assert result.values["b"] is None
+
+    def test_overwrite_replaces_value(self, server):
+        server.write("a", b"old")
+        server.write("a", b"new")
+        assert server.read("a") == b"new"
+
+    def test_delete_batch_removes_keys(self, server):
+        server.write("a", b"1")
+        server.delete_batch(["a"])
+        assert not server.contains("a")
+
+    def test_non_bytes_payload_rejected(self, server):
+        with pytest.raises(TypeError):
+            server.write_batch({"a": "not-bytes"})
+
+    def test_contains(self, server):
+        server.write("a", b"1")
+        assert server.contains("a")
+        assert not server.contains("b")
+
+    def test_snapshot_is_a_copy(self, server):
+        server.write("a", b"1")
+        snap = server.snapshot()
+        server.write("a", b"2")
+        assert snap["a"] == b"1"
+
+    def test_size_bytes(self, server):
+        server.write("a", b"123")
+        server.write("b", b"4567")
+        assert server.size_bytes() == 7
+
+
+class TestTiming:
+    def test_dummy_backend_charges_no_time(self):
+        server = InMemoryStorageServer(latency="dummy", clock=SimClock())
+        server.read_batch([f"k{i}" for i in range(100)])
+        assert server.clock.now_ms == pytest.approx(0.0)
+
+    def test_sequential_reads_charge_one_rtt_each(self):
+        server = InMemoryStorageServer(latency="server", clock=SimClock())
+        server.read_batch(["a", "b", "c"], parallelism=1)
+        # 3 waves of 0.3ms plus the tiny per-request service time.
+        assert server.clock.now_ms >= 0.9
+
+    def test_parallel_reads_overlap(self):
+        serial = InMemoryStorageServer(latency="server", clock=SimClock())
+        parallel = InMemoryStorageServer(latency="server", clock=SimClock())
+        keys = [f"k{i}" for i in range(32)]
+        serial.read_batch(keys, parallelism=1)
+        parallel.read_batch(keys, parallelism=32)
+        assert parallel.clock.now_ms < serial.clock.now_ms
+
+    def test_charge_latency_false_does_not_advance_clock(self):
+        server = InMemoryStorageServer(latency="server_wan", clock=SimClock(),
+                                       charge_latency=False)
+        server.read_batch(["a", "b"])
+        assert server.clock.now_ms == pytest.approx(0.0)
+
+    def test_wan_slower_than_lan(self):
+        lan = InMemoryStorageServer(latency="server", clock=SimClock())
+        wan = InMemoryStorageServer(latency="server_wan", clock=SimClock())
+        lan.read_batch(["a"] * 4, parallelism=1)
+        wan.read_batch(["a"] * 4, parallelism=1)
+        assert wan.clock.now_ms > lan.clock.now_ms
+
+
+class TestTraceRecording:
+    def test_reads_and_writes_recorded(self, server):
+        server.write("a", b"1")
+        server.read("a")
+        ops = server.trace.ops_by_kind()
+        assert ops[StorageOp.WRITE] == 1
+        assert ops[StorageOp.READ] == 1
+
+    def test_trace_disabled(self):
+        server = InMemoryStorageServer(latency="dummy", record_trace=False)
+        server.write("a", b"1")
+        assert server.trace is None
+
+    def test_record_batch_false_skips_boundary(self, server):
+        server.read_batch(["a"], record_batch=False)
+        assert server.trace.batch_shape() == []
+
+    def test_trace_records_payload_sizes(self, server):
+        server.write("a", b"12345")
+        event = server.trace.events[-1]
+        assert event.size_bytes == 5
+
+
+class TestFailureInjection:
+    def test_failed_server_raises(self, server):
+        server.fail()
+        with pytest.raises(ConnectionError):
+            server.read("a")
+
+    def test_recovered_server_serves_again(self, server):
+        server.write("a", b"1")
+        server.fail()
+        server.recover()
+        assert server.read("a") == b"1"

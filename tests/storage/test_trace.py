@@ -1,0 +1,100 @@
+"""Tests for the adversary-visible access trace."""
+
+import pytest
+
+from repro.storage.backend import StorageOp
+from repro.storage.trace import AccessTrace, merge_traces
+
+
+@pytest.fixture
+def trace():
+    return AccessTrace()
+
+
+class TestRecording:
+    def test_events_are_sequenced(self, trace):
+        trace.record(StorageOp.READ, "a", 10, 0.0)
+        trace.record(StorageOp.WRITE, "b", 20, 1.0)
+        assert [e.seq for e in trace.events] == [0, 1]
+
+    def test_len_counts_events(self, trace):
+        for i in range(5):
+            trace.record(StorageOp.READ, f"k{i}", 1, float(i))
+        assert len(trace) == 5
+
+    def test_begin_batch_assigns_increasing_ids(self, trace):
+        first = trace.begin_batch("read", 0.0, 4)
+        second = trace.begin_batch("write", 1.0, 2)
+        assert second == first + 1
+
+    def test_clear_resets_everything(self, trace):
+        trace.begin_batch("read", 0.0, 1)
+        trace.record(StorageOp.READ, "a", 1, 0.0)
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.batches == []
+        assert trace.begin_batch("read", 0.0, 1) == 0
+
+
+class TestQueries:
+    def test_keys_accessed_in_order(self, trace):
+        trace.record(StorageOp.READ, "a", 1, 0.0)
+        trace.record(StorageOp.WRITE, "b", 1, 1.0)
+        trace.record(StorageOp.READ, "a", 1, 2.0)
+        assert trace.keys_accessed() == ["a", "b", "a"]
+        assert trace.keys_accessed(StorageOp.READ) == ["a", "a"]
+
+    def test_key_frequencies(self, trace):
+        for _ in range(3):
+            trace.record(StorageOp.READ, "hot", 1, 0.0)
+        trace.record(StorageOp.READ, "cold", 1, 0.0)
+        freqs = trace.key_frequencies()
+        assert freqs["hot"] == 3
+        assert freqs["cold"] == 1
+
+    def test_ops_by_kind(self, trace):
+        trace.record(StorageOp.READ, "a", 1, 0.0)
+        trace.record(StorageOp.DELETE, "a", 0, 1.0)
+        counts = trace.ops_by_kind()
+        assert counts[StorageOp.READ] == 1
+        assert counts[StorageOp.DELETE] == 1
+
+    def test_batch_shape(self, trace):
+        trace.begin_batch("read", 0.0, 8)
+        trace.begin_batch("write", 5.0, 4)
+        assert trace.batch_shape() == [("read", 8), ("write", 4)]
+
+    def test_events_in_window(self, trace):
+        trace.record(StorageOp.READ, "a", 1, 1.0)
+        trace.record(StorageOp.READ, "b", 1, 5.0)
+        trace.record(StorageOp.READ, "c", 1, 9.0)
+        window = trace.events_in_window(2.0, 8.0)
+        assert [e.key for e in window] == ["b"]
+
+    def test_keys_matching_prefix(self, trace):
+        trace.record(StorageOp.READ, "oram/1/v0/s/0", 1, 0.0)
+        trace.record(StorageOp.READ, "wal/0/1", 1, 0.0)
+        assert trace.keys_matching("oram/") == ["oram/1/v0/s/0"]
+
+    def test_total_bytes(self, trace):
+        trace.record(StorageOp.READ, "a", 10, 0.0)
+        trace.record(StorageOp.WRITE, "b", 32, 0.0)
+        assert trace.total_bytes() == 42
+        assert trace.total_bytes(StorageOp.WRITE) == 32
+
+
+class TestMergeTraces:
+    def test_merge_orders_by_time(self):
+        a, b = AccessTrace(), AccessTrace()
+        a.record(StorageOp.READ, "a1", 1, 2.0)
+        b.record(StorageOp.READ, "b1", 1, 1.0)
+        merged = merge_traces([a, b])
+        assert merged.keys_accessed() == ["b1", "a1"]
+
+    def test_merge_preserves_event_count(self):
+        a, b = AccessTrace(), AccessTrace()
+        for i in range(4):
+            a.record(StorageOp.READ, f"a{i}", 1, float(i))
+            b.record(StorageOp.WRITE, f"b{i}", 1, float(i))
+        merged = merge_traces([a, b])
+        assert len(merged) == 8

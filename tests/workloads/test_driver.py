@@ -1,0 +1,78 @@
+"""Tests for the closed-loop workload drivers."""
+
+import pytest
+
+from repro.baseline.nopriv import NoPrivProxy
+from repro.core.config import ObladiConfig, RingOramConfig
+from repro.core.proxy import ObladiProxy
+from repro.workloads.driver import (WorkloadRun, generate_mixed_factory_source,
+                                    run_baseline_closed_loop, run_obladi_closed_loop)
+from repro.workloads.smallbank import SmallBankConfig, SmallBankWorkload
+
+
+@pytest.fixture
+def smallbank():
+    return SmallBankWorkload(SmallBankConfig(num_accounts=60, seed=5))
+
+
+@pytest.fixture
+def obladi(smallbank):
+    config = ObladiConfig(
+        oram=RingOramConfig(num_blocks=512, z_real=8, block_size=192),
+        read_batches=3, read_batch_size=24, write_batch_size=24,
+        backend="server", durability=False, seed=2,
+    )
+    proxy = ObladiProxy(config)
+    proxy.load_initial_data(smallbank.initial_data())
+    return proxy
+
+
+class TestObladiDriver:
+    def test_closed_loop_commits_requested_transactions(self, obladi, smallbank):
+        run = run_obladi_closed_loop(obladi, smallbank.transaction_factory,
+                                     total_transactions=24, clients=6)
+        assert run.committed + run.aborted >= 24
+        assert run.committed > 0
+        assert run.epochs >= 4
+        assert run.elapsed_ms > 0
+        assert run.throughput_tps > 0
+
+    def test_latencies_collected_for_committed(self, obladi, smallbank):
+        run = run_obladi_closed_loop(obladi, smallbank.transaction_factory,
+                                     total_transactions=12, clients=4)
+        assert len(run.latencies_ms) == run.committed
+        assert run.average_latency_ms > 0
+
+    def test_physical_work_recorded(self, obladi, smallbank):
+        run = run_obladi_closed_loop(obladi, smallbank.transaction_factory,
+                                     total_transactions=12, clients=4)
+        assert run.physical_reads > 0
+        assert run.physical_writes > 0
+
+
+class TestBaselineDriver:
+    def test_baseline_closed_loop(self, smallbank):
+        baseline = NoPrivProxy(backend="server")
+        baseline.load_initial_data(smallbank.initial_data())
+        run = run_baseline_closed_loop(baseline, smallbank.transaction_factory,
+                                       total_transactions=30, clients=6)
+        assert run.system == "noprivproxy"
+        assert run.committed > 0
+        assert run.elapsed_ms > 0
+
+    def test_factory_source_adapter(self, smallbank):
+        source = generate_mixed_factory_source(smallbank)
+        program = source()()
+        assert hasattr(program, "send")
+
+
+class TestWorkloadRunMetrics:
+    def test_zero_division_guards(self):
+        run = WorkloadRun(system="x")
+        assert run.throughput_tps == 0.0
+        assert run.average_latency_ms == 0.0
+        assert run.abort_rate == 0.0
+
+    def test_abort_rate(self):
+        run = WorkloadRun(system="x", committed=8, aborted=2)
+        assert run.abort_rate == pytest.approx(0.2)
