@@ -1,0 +1,8 @@
+"""Benchmark suite regenerating the paper's evaluation figures.
+
+This package marker makes ``benchmarks`` a real package so its modules can
+import shared helpers (``from .conftest import run_once``) under a plain
+``python -m pytest`` from the repository root — without it, pytest imports
+the test modules as top-level files and the relative import dies with
+``ImportError: attempted relative import with no known parent package``.
+"""

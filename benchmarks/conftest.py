@@ -25,6 +25,22 @@ if _SRC not in sys.path:
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 
 
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Tag the tests in this directory with the ``benchmarks`` marker.
+
+    The marker is registered in ``pyproject.toml``; it lets CI select or
+    skip the figure regenerations (``-m benchmarks`` / ``-m "not
+    benchmarks"``).  The hook sees the whole session's items, so filter by
+    path — only this directory's tests get the marker.
+    """
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR + os.sep):
+            item.add_marker(pytest.mark.benchmarks)
+
+
 @pytest.fixture(scope="session")
 def bench_scale():
     """Scale parameters shared by the benchmark modules."""

@@ -40,6 +40,23 @@ def test_fig9a_throughput(benchmark, bench_scale):
         assert nopriv.throughput_tps / max(obladi.throughput_tps, 1e-9) < 150
 
 
+def test_fig9_smoke(benchmark):
+    """Minimal-scale sanity pass over all three engines (the CI smoke target).
+
+    Runs SmallBank through Obladi, NoPriv and the MySQL-like engine at the
+    smallest useful scale so ``scripts/ci.sh`` can catch end-to-end
+    regressions in seconds rather than re-rendering the full figure.
+    """
+    rows = run_once(benchmark, lambda: run_end_to_end(
+        applications=("smallbank",), systems=("obladi", "nopriv", "mysql"),
+        transactions=24, clients=8, scale=0.01))
+    by = {r.system: r for r in rows}
+    assert set(by) == {"obladi", "nopriv", "mysql"}
+    for row in rows:
+        assert row.committed > 0
+    assert by["nopriv"].throughput_tps > by["obladi"].throughput_tps
+
+
 def test_fig9b_latency(benchmark, bench_scale):
     rows = run_once(benchmark, lambda: _collect(bench_scale))
     print()

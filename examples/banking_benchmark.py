@@ -11,17 +11,17 @@ one application: the SmallBank banking workload running on
 in both the LAN (0.3 ms) and WAN (10 ms) settings, and prints the
 throughput/latency table plus the privacy price Obladi pays.
 
+Every system is a :class:`~repro.api.engine.TransactionEngine` built by
+:func:`repro.api.create_engine`, so the whole comparison is one loop: same
+workload object, same closed-loop driver, three engines.
+
 Run it with::
 
     python examples/banking_benchmark.py
 """
 
-from repro.baseline.mysql_like import TwoPhaseLockingStore
-from repro.baseline.nopriv import NoPrivProxy
-from repro.core.config import ObladiConfig, RingOramConfig
-from repro.core.proxy import ObladiProxy
+from repro.api import EngineConfig, create_engine
 from repro.harness.report import print_table
-from repro.workloads.driver import run_baseline_closed_loop, run_obladi_closed_loop
 from repro.workloads.smallbank import SmallBankConfig, SmallBankWorkload
 
 TRANSACTIONS = 150
@@ -33,27 +33,25 @@ def fresh_workload():
     return SmallBankWorkload(SmallBankConfig(num_accounts=ACCOUNTS, seed=11))
 
 
-def run_obladi(backend: str):
+def build_engine(kind: str, backend: str, num_blocks: int):
+    config = (EngineConfig()
+              .with_workload("smallbank")
+              .with_backend(backend)
+              .with_oram(num_blocks=num_blocks, z_real=16, block_size=192)
+              .with_batching(read_batch_size=CLIENTS * 3, write_batch_size=CLIENTS * 2)
+              .with_durability(True)
+              .with_encryption(False)
+              .with_seed(11))
+    return create_engine(kind, config)
+
+
+def run_system(kind: str, backend: str):
     workload = fresh_workload()
     data = workload.initial_data()
-    config = ObladiConfig.for_workload(
-        "smallbank", num_blocks=2 * len(data), backend=backend,
-        oram=RingOramConfig(num_blocks=2 * len(data), z_real=16, block_size=192),
-        read_batch_size=CLIENTS * 3, write_batch_size=CLIENTS * 2,
-        durability=True, encrypt=False, seed=11)
-    proxy = ObladiProxy(config)
-    proxy.load_initial_data(data)
-    return run_obladi_closed_loop(proxy, workload.transaction_factory,
+    engine = build_engine(kind, backend, num_blocks=2 * len(data))
+    engine.load_initial_data(data)
+    return engine.run_closed_loop(workload.transaction_factory,
                                   total_transactions=TRANSACTIONS, clients=CLIENTS)
-
-
-def run_baseline(kind: str, backend: str):
-    workload = fresh_workload()
-    data = workload.initial_data()
-    baseline = NoPrivProxy(backend=backend) if kind == "nopriv" else TwoPhaseLockingStore()
-    baseline.load_initial_data(data)
-    return run_baseline_closed_loop(baseline, workload.transaction_factory,
-                                    total_transactions=TRANSACTIONS, clients=CLIENTS)
 
 
 def main() -> None:
@@ -62,14 +60,14 @@ def main() -> None:
 
     rows = []
     runs = {}
-    for label, runner in (
-        ("obladi", lambda: run_obladi("server")),
-        ("nopriv", lambda: run_baseline("nopriv", "server")),
-        ("mysql", lambda: run_baseline("mysql", "server")),
-        ("obladi (WAN)", lambda: run_obladi("server_wan")),
-        ("nopriv (WAN)", lambda: run_baseline("nopriv", "server_wan")),
+    for label, kind, backend in (
+        ("obladi", "obladi", "server"),
+        ("nopriv", "nopriv", "server"),
+        ("mysql", "mysql", "server"),
+        ("obladi (WAN)", "obladi", "server_wan"),
+        ("nopriv (WAN)", "nopriv", "server_wan"),
     ):
-        run = runner()
+        run = run_system(kind, backend)
         runs[label] = run
         rows.append({
             "system": label,

@@ -9,51 +9,51 @@ last committed epoch, rolls the ORAM back to that epoch's bucket versions,
 and replays the aborted epoch's logged paths so the storage server learns
 nothing from the failure.
 
+The engine API surfaces this as ``engine.crash()`` / ``engine.recover()``
+(the Obladi engine sets ``supports_crash_recovery``; the baselines raise
+``EngineFeatureUnavailable`` — they have no durability story to recover).
+
 Run it with::
 
     python examples/crash_recovery.py
 """
 
+from repro.api import EngineConfig, create_engine
 from repro.core.client import Read, Write
-from repro.core.config import ObladiConfig, RingOramConfig
 from repro.core.errors import ProxyCrashedError
-from repro.core.proxy import ObladiProxy
 from repro.recovery.crash import CrashInjector, CrashPoint
-from repro.recovery.manager import recover_proxy
-
-
-def read_key(proxy, key):
-    def program():
-        value = yield Read(key)
-        return value
-
-    return proxy.execute_transaction(program).return_value
 
 
 def main() -> None:
-    config = ObladiConfig(
-        oram=RingOramConfig(num_blocks=1024, z_real=8, block_size=160),
-        read_batches=3, read_batch_size=12, write_batch_size=12,
-        backend="server", durability=True, checkpoint_frequency=2, seed=9)
-    proxy = ObladiProxy(config)
-    proxy.load_initial_data({f"doc:{i}": f"draft-{i}".encode() for i in range(40)})
-    print("Proxy started with durability on; initial checkpoint written.\n")
+    config = (EngineConfig()
+              .with_oram(num_blocks=1024, z_real=8, block_size=160)
+              .with_batching(read_batches=3, read_batch_size=12, write_batch_size=12)
+              .with_backend("server")
+              .with_durability(True, checkpoint_frequency=2)
+              .with_seed(9))
+    engine = create_engine("obladi", config)
+    engine.load_initial_data({f"doc:{i}": f"draft-{i}".encode() for i in range(40)})
+    print("Engine started with durability on; initial checkpoint written "
+          f"(supports_crash_recovery={engine.supports_crash_recovery}).\n")
 
-    # Commit two epochs of edits.
+    # Commit two epochs of edits (one submit_many wave = one epoch).
     for epoch in range(2):
-        for i in range(5):
-            def edit(i=i, epoch=epoch):
+        def edit_for(i, epoch=epoch):
+            def edit():
                 yield Read(f"doc:{i}")
                 yield Write(f"doc:{i}", f"revision-{epoch}-{i}".encode())
                 return True
-            proxy.submit(edit)
-        summary = proxy.run_epoch()
-        print(f"epoch {summary.epoch_id}: committed {summary.committed} edits "
-              f"(simulated {summary.duration_ms:.1f} ms)")
-    print("doc:1 is now:", read_key(proxy, "doc:1").decode(), "\n")
+            return edit
+
+        results = engine.submit_many([edit_for(i) for i in range(5)])
+        print(f"epoch wave {epoch}: committed {sum(r.committed for r in results)} edits")
+    print("doc:1 is now:", engine.read("doc:1").decode(), "\n")
 
     # Crash in the middle of the next epoch, after its first read batch.
-    injector = CrashInjector(proxy, crash_after_batches=1, point=CrashPoint.AFTER_READ_BATCH)
+    # (Crash *injection* is proxy-level tooling; the engine exposes the
+    # recovery path itself.)
+    injector = CrashInjector(engine.proxy, crash_after_batches=1,
+                             point=CrashPoint.AFTER_READ_BATCH)
     injector.arm()
 
     def doomed_edit():
@@ -61,15 +61,14 @@ def main() -> None:
         yield Write("doc:1", b"MUST-NOT-SURVIVE")
         return True
 
-    proxy.submit(doomed_edit)
     try:
-        proxy.run_epoch()
+        engine.submit_many([doomed_edit])
     except ProxyCrashedError as crash:
         print(f"proxy crashed mid-epoch: {crash}\n")
 
     # Recover: only the master key survives; everything else comes from the
-    # untrusted store.
-    recovered, report = recover_proxy(proxy.storage, config, master_key=proxy.master_key)
+    # untrusted store.  The engine swaps in the recovered proxy.
+    report = engine.recover()
     print("recovery complete:")
     print(f"  recovered epoch        : {report.recovered_epoch}")
     print(f"  aborted epoch          : {report.aborted_epoch}")
@@ -82,18 +81,17 @@ def main() -> None:
     print(f"    path replay          : {report.paths_ms:.2f} ms "
           f"({report.paths_replayed} logged requests re-read)")
 
-    value = read_key(recovered, "doc:1")
+    value = engine.read("doc:1")
     print(f"\ndoc:1 after recovery: {value.decode()!r} "
           "(the committed revision; the in-flight edit vanished with its epoch)")
 
-    # And the recovered proxy keeps serving transactions.
+    # And the recovered engine keeps serving transactions.
     def post_recovery_edit():
         yield Write("doc:1", b"post-recovery-edit")
         return True
 
-    recovered.submit(post_recovery_edit)
-    recovered.run_epoch()
-    print("doc:1 after a post-recovery edit:", read_key(recovered, "doc:1").decode())
+    engine.submit(post_recovery_edit)
+    print("doc:1 after a post-recovery edit:", engine.read("doc:1").decode())
 
 
 if __name__ == "__main__":

@@ -16,30 +16,31 @@ Run it with::
 
 import random
 
-from repro import ObladiConfig, ObladiProxy
 from repro.analysis.obliviousness import leaf_access_counts, trace_similarity
-from repro.core.config import RingOramConfig
-from repro.workloads.driver import run_obladi_closed_loop
+from repro.api import EngineConfig, create_engine
 from repro.workloads.freehealth import FreeHealthConfig, FreeHealthWorkload
 
 
 def build_clinic(seed: int) -> tuple:
-    """A small clinic database on an Obladi proxy."""
+    """A small clinic database on an Obladi engine."""
     workload = FreeHealthWorkload(FreeHealthConfig(num_users=6, num_patients=80,
                                                    num_drugs=30, seed=seed))
     data = workload.initial_data()
-    config = ObladiConfig.for_workload(
-        "freehealth", num_blocks=2 * len(data), backend="server",
-        oram=RingOramConfig(num_blocks=2 * len(data), z_real=16, block_size=320),
-        read_batch_size=32, write_batch_size=16, durability=True, seed=seed)
-    proxy = ObladiProxy(config)
-    proxy.load_initial_data(data)
-    return proxy, workload
+    config = (EngineConfig()
+              .with_workload("freehealth")
+              .with_backend("server")
+              .with_oram(num_blocks=2 * len(data), z_real=16, block_size=320)
+              .with_batching(read_batch_size=32, write_batch_size=16)
+              .with_durability(True)
+              .with_seed(seed))
+    engine = create_engine("obladi", config)
+    engine.load_initial_data(data)
+    return engine, workload
 
 
-def run_clinic_day(proxy, workload, transactions=60, clients=10) -> None:
+def run_clinic_day(engine, workload, transactions=60, clients=10) -> None:
     """A day at the clinic: chart lookups, new episodes, prescriptions."""
-    run = run_obladi_closed_loop(proxy, workload.transaction_factory,
+    run = engine.run_closed_loop(workload.transaction_factory,
                                  total_transactions=transactions, clients=clients)
     print(f"  committed {run.committed} clinical transactions "
           f"({run.aborted} retried/aborted) in {run.epochs} epochs")
@@ -47,20 +48,19 @@ def run_clinic_day(proxy, workload, transactions=60, clients=10) -> None:
           f"mean latency {run.average_latency_ms:.0f} ms")
 
 
-def chemotherapy_schedule(proxy, workload, patient: int, weeks: int = 6) -> None:
+def chemotherapy_schedule(engine, workload, patient: int, weeks: int = 6) -> None:
     """Weekly oncology visits for one patient: episode + prescription each week."""
     for week in range(weeks):
-        proxy.submit(workload.create_episode_program(patient=patient))
-        proxy.submit(workload.prescribe_program())
-        proxy.run_epoch()
+        engine.submit_many([workload.create_episode_program(patient=patient),
+                            workload.prescribe_program()])
 
 
 def main() -> None:
     print("=== Oblivious EHR demo (FreeHealth on Obladi) ===\n")
 
     print("A normal clinic day:")
-    proxy, workload = build_clinic(seed=1)
-    run_clinic_day(proxy, workload)
+    engine, workload = build_clinic(seed=1)
+    run_clinic_day(engine, workload)
 
     print("\nNow compare two worlds the cloud provider might try to tell apart:")
     print("  world A: patient 7 attends weekly chemotherapy appointments")
@@ -74,12 +74,11 @@ def main() -> None:
     world_b.storage.trace.clear()
     rng = random.Random(3)
     for _ in range(6):
-        world_b.submit(workload_b.lookup_patient_program())
-        world_b.submit(workload_b.medical_history_program())
-        world_b.run_epoch()
+        world_b.submit_many([workload_b.lookup_patient_program(),
+                             workload_b.medical_history_program()])
     del rng
 
-    depth = world_a.oram.params.depth
+    depth = world_a.proxy.oram.params.depth
     distance = trace_similarity(world_a.storage.trace, world_b.storage.trace, depth)
     counts_a = leaf_access_counts(world_a.storage.trace, depth)
     read_batches_a = [s for k, s in world_a.storage.trace.batch_shape() if k == "read"]

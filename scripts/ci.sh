@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 test suite plus a quick end-to-end benchmark
+# smoke, so regressions in either the unit layer or the figure pipeline
+# fail fast.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+# Smoke first: an end-to-end regression across the three engines surfaces
+# in seconds, before the multi-minute figure regenerations start.
+echo "== smoke: Figure 9 end-to-end across all three engines =="
+python -m pytest -q benchmarks/test_fig9_end_to_end.py -k smoke
+
+echo "== tier-1: unit, property, integration and benchmark suites =="
+python -m pytest -x -q

@@ -19,9 +19,15 @@ provider.  This package re-implements the full system described in the paper:
 * the experiment harness that regenerates every figure and table of the
   evaluation section (:mod:`repro.harness`).
 
+All of these sit behind the unified engine layer (:mod:`repro.api`): one
+:class:`~repro.api.engine.TransactionEngine` interface over the proxy and
+both baselines, created with :func:`~repro.api.factory.create_engine`.
+
 The public, stable entry points are re-exported here.
 """
 
+from repro.api import (EngineConfig, RunStats, TransactionEngine, create_engine,
+                       run_closed_loop)
 from repro.core.config import ObladiConfig, RingOramConfig
 from repro.core.client import Transaction, TransactionAborted
 from repro.core.proxy import ObladiProxy
@@ -30,9 +36,14 @@ from repro.baseline.mysql_like import TwoPhaseLockingStore
 from repro.sim.latency import LatencyModel, BACKENDS
 from repro.storage.memory import InMemoryStorageServer
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    "create_engine",
+    "EngineConfig",
+    "TransactionEngine",
+    "RunStats",
+    "run_closed_loop",
     "ObladiConfig",
     "RingOramConfig",
     "ObladiProxy",

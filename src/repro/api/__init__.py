@@ -1,0 +1,46 @@
+"""Unified engine layer: one transaction API over Obladi and the baselines.
+
+The paper evaluates Obladi by running *identical* workloads through Obladi,
+NoPriv and a MySQL-like store.  This package is that idea as an API:
+
+* :class:`~repro.api.engine.TransactionEngine` — the interface every system
+  implements (``submit`` / ``submit_many`` / ``transaction()`` /
+  ``run_closed_loop`` / ``stats`` / ``crash``/``recover`` where supported);
+* :class:`~repro.api.results.RunStats` — the one closed-loop result type
+  (replacing the old ``BaselineRunResult`` / ``WorkloadRun`` split);
+* :func:`~repro.api.factory.create_engine` and the fluent
+  :class:`~repro.api.factory.EngineConfig` — construction;
+* :func:`~repro.api.loop.run_closed_loop` and
+  :class:`~repro.api.loop.RetryPolicy` — the single shared closed-loop
+  driver with its retry/backoff policy.
+
+Every future scaling direction (sharded proxies, alternate storage
+backends, async batching) plugs in by implementing ``TransactionEngine``
+and registering a kind with ``create_engine``.
+"""
+
+from repro.api.adapters import (MySQLEngine, NoPrivEngine, ObladiEngine,
+                                wrap_engine)
+from repro.api.engine import (EngineFeatureUnavailable, FactorySource,
+                              ProgramFactory, TransactionEngine)
+from repro.api.factory import ENGINE_KINDS, EngineConfig, create_engine
+from repro.api.loop import DEFAULT_RETRY_POLICY, RetryPolicy, run_closed_loop
+from repro.api.results import RunStats
+
+__all__ = [
+    "TransactionEngine",
+    "EngineFeatureUnavailable",
+    "RunStats",
+    "EngineConfig",
+    "create_engine",
+    "ENGINE_KINDS",
+    "run_closed_loop",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "ObladiEngine",
+    "NoPrivEngine",
+    "MySQLEngine",
+    "wrap_engine",
+    "ProgramFactory",
+    "FactorySource",
+]

@@ -1,0 +1,245 @@
+"""Engine adapters for the three evaluated systems.
+
+Each adapter is thin: it owns one underlying system (the Obladi proxy, the
+NoPriv executor, or the strict-2PL store) and maps the uniform
+:class:`~repro.api.engine.TransactionEngine` surface onto it.  The closed
+loop, retry policy and result bookkeeping all live in :mod:`repro.api.loop`
+and :mod:`repro.api.results`; nothing here duplicates them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.api.engine import ProgramFactory, TransactionEngine
+from repro.api.results import RunStats
+from repro.core.client import TransactionResult
+
+
+def _as_factory(program) -> ProgramFactory:
+    """Normalise a program (callable or generator object) to a factory."""
+    if callable(program):
+        return program
+    if hasattr(program, "send"):
+        return lambda generator=program: generator
+    raise TypeError("transaction programs must be generator functions or generators")
+
+
+class ObladiEngine(TransactionEngine):
+    """The Obladi proxy behind the engine interface.
+
+    One ``submit_many`` wave is one proxy epoch: the wave's programs are
+    queued, ``run_epoch`` executes them, and the epoch's results are
+    returned in submission order (admission preserves queue order and MVTSO
+    assigns monotonically increasing transaction ids).
+
+    The engine must own the proxy's queue: programs submitted directly on
+    the wrapped proxy in the middle of a wave would shift the id-to-program
+    correspondence.
+    """
+
+    name = "obladi"
+    supports_crash_recovery = True
+
+    def __init__(self, proxy) -> None:
+        self.proxy = proxy
+        # Lifetime stats are measured from here, not from clock zero: a
+        # shared clock may already have advanced before this engine existed.
+        self._start_ms = proxy.clock.now_ms
+        # Contributions of proxies retired by crash/recover cycles, so the
+        # engine's lifetime accounting survives proxy replacement.
+        self._retired = RunStats(engine=self.name)
+        self._retired_history: list = []
+
+    # -- data plane ----------------------------------------------------- #
+    def load_initial_data(self, items: Dict[str, bytes]) -> None:
+        self.proxy.load_initial_data(items)
+
+    def submit(self, program) -> TransactionResult:
+        return self.proxy.execute_transaction(program)
+
+    def submit_many(self, programs: Sequence[ProgramFactory]) -> List[TransactionResult]:
+        if not programs:
+            return []
+        for program in programs:
+            self.proxy.submit(program)
+        summary = self.proxy.run_epoch()
+        epoch_results = [r for r in self.proxy.results.values()
+                         if r.epoch == summary.epoch_id]
+        return sorted(epoch_results, key=lambda r: r.txn_id)
+
+    # -- introspection -------------------------------------------------- #
+    def stats(self) -> RunStats:
+        results = list(self.proxy.results.values())
+        reads, writes = self.io_counters()
+        retired = self._retired
+        return RunStats(
+            engine=self.name,
+            committed=retired.committed + self.proxy.stats_committed,
+            aborted=retired.aborted + self.proxy.stats_aborted,
+            elapsed_ms=self.clock.now_ms - self._start_ms,
+            epochs=retired.epochs + len(self.proxy.epoch_summaries),
+            physical_reads=reads,
+            physical_writes=writes,
+            latencies_ms=(list(retired.latencies_ms)
+                          + [r.latency_ms for r in results if r.committed]),
+            results=list(retired.results) + results,
+        )
+
+    @property
+    def clock(self):
+        return self.proxy.clock
+
+    @property
+    def committed_history(self):
+        return self._retired_history + self.proxy.committed_history
+
+    @property
+    def storage(self):
+        """The untrusted storage server (its trace is the adversary's view)."""
+        return self.proxy.storage
+
+    def io_counters(self) -> Tuple[int, int]:
+        lifetime = self.proxy.executor.lifetime_stats
+        return (self._retired.physical_reads + lifetime.physical_reads,
+                self._retired.physical_writes + lifetime.physical_writes)
+
+    # -- fault injection ------------------------------------------------ #
+    def crash(self) -> None:
+        self.proxy.crash()
+
+    def recover(self):
+        """Build a fresh proxy from the untrusted store; returns the report.
+
+        The crashed proxy's committed work stays in the engine's lifetime
+        stats and history — a crash loses in-flight state, not the record of
+        what already committed durably.
+        """
+        from repro.recovery.manager import recover_proxy
+        old = self.proxy
+        old_results = list(old.results.values())
+        self._retired.committed += old.stats_committed
+        self._retired.aborted += old.stats_aborted
+        self._retired.epochs += len(old.epoch_summaries)
+        self._retired.latencies_ms.extend(
+            r.latency_ms for r in old_results if r.committed)
+        self._retired.results.extend(old_results)
+        old_reads = old.executor.lifetime_stats.physical_reads
+        old_writes = old.executor.lifetime_stats.physical_writes
+        self._retired.physical_reads += old_reads
+        self._retired.physical_writes += old_writes
+        self._retired_history.extend(old.committed_history)
+
+        recovered, report = recover_proxy(old.storage, old.config,
+                                          master_key=old.master_key)
+        self.proxy = recovered
+        return report
+
+
+class _ClosedLoopBaselineEngine(TransactionEngine):
+    """Shared adapter over the baselines' discrete-event executors.
+
+    A ``submit_many`` wave maps to one ``run_transactions`` call with as
+    many client slots as programs, with the executor's *internal* retries
+    disabled — retry/backoff across waves belongs to the shared closed loop.
+    """
+
+    def __init__(self, impl) -> None:
+        self.impl = impl
+        self._lifetime = RunStats(engine=self.name)
+        # See ObladiEngine: shared clocks may predate this engine.
+        self._start_ms = impl.clock.now_ms
+
+    # -- data plane ----------------------------------------------------- #
+    def load_initial_data(self, items: Dict[str, bytes]) -> None:
+        self.impl.load_initial_data(items)
+
+    def submit(self, program) -> TransactionResult:
+        return self.submit_many([program])[0]
+
+    def submit_many(self, programs: Sequence[ProgramFactory]) -> List[TransactionResult]:
+        if not programs:
+            return []
+        factories = [_as_factory(p) for p in programs]
+        wave = self.impl.run_transactions(factories, clients=len(factories),
+                                          retry_aborted=False)
+        self._absorb(wave)
+        # With retries off each factory resolves exactly once, and slots pick
+        # factories up in queue order with monotonically increasing txn ids,
+        # so sorting by id restores submission order.
+        return sorted(wave.results, key=lambda r: r.txn_id)
+
+    def _absorb(self, wave: RunStats) -> None:
+        total = self._lifetime
+        total.committed += wave.committed
+        total.aborted += wave.aborted
+        total.retries += wave.retries
+        total.cpu_ms += wave.cpu_ms
+        total.epochs += 1
+        total.latencies_ms.extend(wave.latencies_ms)
+        total.results.extend(wave.results)
+
+    # -- introspection -------------------------------------------------- #
+    def stats(self) -> RunStats:
+        total = self._lifetime
+        reads, writes = self.io_counters()
+        # Snapshot, not the live accumulator: callers may hold or mutate it.
+        return RunStats(
+            engine=self.name,
+            committed=total.committed,
+            aborted=total.aborted,
+            retries=total.retries,
+            elapsed_ms=self.clock.now_ms - self._start_ms,
+            cpu_ms=total.cpu_ms,
+            epochs=total.epochs,
+            physical_reads=reads,
+            physical_writes=writes,
+            latencies_ms=list(total.latencies_ms),
+            results=list(total.results),
+        )
+
+    @property
+    def clock(self):
+        return self.impl.clock
+
+    @property
+    def committed_history(self):
+        return self.impl.committed_history
+
+    @property
+    def storage(self):
+        return self.impl.storage
+
+    def io_counters(self) -> Tuple[int, int]:
+        return (self.impl.storage.stats_reads, self.impl.storage.stats_writes)
+
+    def cpu_ms(self) -> float:
+        return self._lifetime.cpu_ms
+
+
+class NoPrivEngine(_ClosedLoopBaselineEngine):
+    """The paper's NoPriv baseline (MVTSO over plain remote storage)."""
+
+    name = "nopriv"
+
+
+class MySQLEngine(_ClosedLoopBaselineEngine):
+    """The MySQL/InnoDB stand-in (strict 2PL over local storage)."""
+
+    name = "mysql"
+
+
+def wrap_engine(system) -> TransactionEngine:
+    """Wrap an already-constructed system in its engine adapter."""
+    if isinstance(system, TransactionEngine):
+        return system
+    from repro.baseline.mysql_like import TwoPhaseLockingStore
+    from repro.baseline.nopriv import NoPrivProxy
+    from repro.core.proxy import ObladiProxy
+    if isinstance(system, ObladiProxy):
+        return ObladiEngine(system)
+    if isinstance(system, NoPrivProxy):
+        return NoPrivEngine(system)
+    if isinstance(system, TwoPhaseLockingStore):
+        return MySQLEngine(system)
+    raise TypeError(f"no engine adapter for {type(system).__name__}")

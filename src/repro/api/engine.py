@@ -1,0 +1,159 @@
+"""The :class:`TransactionEngine` interface.
+
+Every system the evaluation compares — the Obladi proxy, the NoPriv
+baseline, the MySQL-like strict-2PL store — implements this one interface,
+so workloads, experiments, examples and benchmarks are written once and run
+against all of them.  The interface deliberately mirrors how the paper
+treats its systems: identical transaction programs in, commit/abort
+decisions and timing out.
+
+Transaction *programs* are the generator programs of
+:mod:`repro.core.client`: a zero-argument callable returning a generator
+that yields :class:`~repro.core.client.Read` / ``ReadMany`` / ``Write`` /
+``AbortRequest`` operations.  Engines accept either the callable (preferred;
+required wherever a program may be retried) or a bare generator object.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.client import (Read, Transaction, TransactionProgram,
+                               TransactionResult)
+
+ProgramFactory = Callable[[], object]
+FactorySource = Callable[[], ProgramFactory]
+
+
+class EngineFeatureUnavailable(NotImplementedError):
+    """Raised when an engine does not support an optional capability.
+
+    Crash/recovery is the paper's example: Obladi checkpoints obliviously and
+    can lose its proxy, while the baselines have no durability story, so
+    ``crash()`` on a baseline engine raises this.
+    """
+
+    def __init__(self, engine: str, feature: str) -> None:
+        super().__init__(f"engine {engine!r} does not support {feature}")
+        self.engine = engine
+        self.feature = feature
+
+
+class TransactionEngine(abc.ABC):
+    """One serializable transaction system behind a uniform API.
+
+    Concrete engines are created with :func:`repro.api.create_engine`; the
+    adapters in :mod:`repro.api.adapters` wrap the underlying systems.
+    """
+
+    #: Stable engine name (matches the ``create_engine`` kind).
+    name: str = "engine"
+    #: Whether :meth:`crash` / :meth:`recover` are meaningful.
+    supports_crash_recovery: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Data plane
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def load_initial_data(self, items: Dict[str, bytes]) -> None:
+        """Bulk-load a dataset before serving transactions."""
+
+    @abc.abstractmethod
+    def submit(self, program) -> TransactionResult:
+        """Execute one transaction program to completion and return its fate."""
+
+    @abc.abstractmethod
+    def submit_many(self, programs: Sequence[ProgramFactory]) -> List[TransactionResult]:
+        """Execute a wave of programs concurrently.
+
+        Results are returned in submission order (``results[i]`` is the fate
+        of ``programs[i]``).  This is the primitive the shared closed loop
+        builds on: for the Obladi proxy one wave is one epoch; for the
+        baselines it is one batch of concurrent client slots.
+        """
+
+    def read(self, key: str) -> Optional[bytes]:
+        """Read a single committed value through a one-off transaction."""
+
+        def program():
+            value = yield Read(key)
+            return value
+
+        result = self.submit(program)
+        return result.return_value if result.committed else None
+
+    def transaction(self) -> Transaction:
+        """Interactive transaction context manager.
+
+        Reads and writes are buffered client-side (reads see the engine's
+        committed state, plus the transaction's own buffered writes) and
+        submitted as one program on ``commit()`` / context exit.
+        """
+        return Transaction(submit=self.submit, read_now=self.read)
+
+    # ------------------------------------------------------------------ #
+    # Closed-loop execution
+    # ------------------------------------------------------------------ #
+    def run_closed_loop(self, factory_source: FactorySource, total_transactions: int,
+                        clients: int = 32, max_retries: int = 2,
+                        max_batches: int = 10_000):
+        """Run ``total_transactions`` closed loop and return a ``RunStats``.
+
+        All engines share one loop implementation
+        (:func:`repro.api.loop.run_closed_loop`): ``clients`` concurrent
+        slots, aborted transactions retried up to ``max_retries`` times.
+        """
+        from repro.api.loop import run_closed_loop
+        return run_closed_loop(self, factory_source, total_transactions,
+                               clients=clients, max_retries=max_retries,
+                               max_batches=max_batches)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def stats(self):
+        """Cumulative :class:`~repro.api.results.RunStats` over the engine's lifetime."""
+
+    @property
+    @abc.abstractmethod
+    def clock(self):
+        """The engine's simulated clock (:class:`repro.sim.clock.SimClock`)."""
+
+    @property
+    def committed_history(self):
+        """Committed transactions, for serializability checking."""
+        return []
+
+    def io_counters(self) -> Tuple[int, int]:
+        """Cumulative ``(physical_reads, physical_writes)`` issued to storage."""
+        return (0, 0)
+
+    def cpu_ms(self) -> float:
+        """Cumulative simulated proxy CPU, where the engine models it."""
+        return 0.0
+
+    # ------------------------------------------------------------------ #
+    # Fault injection
+    # ------------------------------------------------------------------ #
+    def crash(self) -> None:
+        """Simulate losing the engine's volatile state (where supported)."""
+        raise EngineFeatureUnavailable(self.name, "crash()")
+
+    def recover(self):
+        """Recover after :meth:`crash`; returns an engine-specific report."""
+        raise EngineFeatureUnavailable(self.name, "recover()")
+
+    def close(self) -> None:
+        """Release resources.  Engines are simulation-backed; default no-op."""
+
+    def __enter__(self) -> "TransactionEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,224 @@
+"""Engine construction: :func:`create_engine` and the fluent :class:`EngineConfig`.
+
+The one entry point callers need::
+
+    from repro.api import EngineConfig, create_engine
+
+    engine = create_engine(
+        "obladi",
+        EngineConfig().with_workload("smallbank").with_backend("server_wan")
+                      .with_oram(num_blocks=4096, z_real=16, block_size=192)
+                      .with_seed(7))
+    engine.load_initial_data(data)
+    stats = engine.run_closed_loop(workload.transaction_factory,
+                                   total_transactions=256, clients=32)
+
+The same :class:`EngineConfig` configures all three engines; fields that do
+not apply to a given engine (e.g. ORAM sizing for the baselines) are simply
+ignored, so one config object can drive a full Figure-9-style comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from repro.api.adapters import MySQLEngine, NoPrivEngine, ObladiEngine
+from repro.api.engine import TransactionEngine
+from repro.core.config import ObladiConfig, RingOramConfig
+
+#: Engine kinds accepted by :func:`create_engine` (plus the aliases below).
+ENGINE_KINDS = ("obladi", "nopriv", "mysql")
+
+_KIND_ALIASES = {
+    "2pl": "mysql",
+    "mysql_like": "mysql",
+    "twophaselockingstore": "mysql",
+    "noprivproxy": "nopriv",
+    "obladiproxy": "obladi",
+}
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-agnostic configuration with a fluent builder surface.
+
+    Every ``with_*`` method returns a new config (the dataclass is frozen),
+    so partially-built configs can be shared and specialised::
+
+        base = EngineConfig().with_workload("tpcc").with_seed(7)
+        lan, wan = base.with_backend("server"), base.with_backend("server_wan")
+
+    ``None`` fields mean "use the workload preset / system default".
+    """
+
+    #: Workload profile for :meth:`ObladiConfig.for_workload` presets.
+    workload: Optional[str] = None
+    #: Storage latency model (``server``, ``server_wan``, ``dynamo``, ``dummy``).
+    backend: str = "server"
+    #: ORAM sizing (Obladi only).
+    oram: Optional[RingOramConfig] = None
+    num_blocks: Optional[int] = None
+
+    # Epoch/batching overrides (Obladi only; ``None`` = preset value).
+    read_batches: Optional[int] = None
+    read_batch_size: Optional[int] = None
+    write_batch_size: Optional[int] = None
+    batch_interval_ms: Optional[float] = None
+
+    # Durability / security toggles (Obladi only).
+    durability: Optional[bool] = None
+    encrypt: Optional[bool] = None
+    checkpoint_frequency: Optional[int] = None
+
+    # Locking behaviour (MySQL-like engine only).
+    local_execution: bool = True
+    exclusive_reads: bool = True
+
+    seed: Optional[int] = 0
+
+    # ------------------------------------------------------------------ #
+    # Fluent builder methods
+    # ------------------------------------------------------------------ #
+    def with_workload(self, profile: str) -> "EngineConfig":
+        """Adopt a paper workload preset (``tpcc``/``smallbank``/``freehealth``/``ycsb``)."""
+        return replace(self, workload=profile)
+
+    def with_backend(self, backend: str) -> "EngineConfig":
+        return replace(self, backend=backend)
+
+    def with_oram(self, oram: Optional[RingOramConfig] = None, *,
+                  num_blocks: Optional[int] = None, **oram_fields) -> "EngineConfig":
+        """Set the Ring ORAM sizing, either whole or field-by-field.
+
+        Field overrides compose: they apply on top of ``oram`` when both are
+        given, and on top of the config's current ORAM otherwise.
+        """
+        if num_blocks is not None:
+            oram_fields["num_blocks"] = num_blocks
+        if oram_fields:
+            base = oram if oram is not None else (
+                self.oram if self.oram is not None else RingOramConfig())
+            oram = replace(base, **oram_fields)
+        if oram is None:
+            oram = self.oram
+        return replace(self, oram=oram,
+                       num_blocks=oram.num_blocks if oram is not None else self.num_blocks)
+
+    def with_batching(self, *, read_batches: Optional[int] = None,
+                      read_batch_size: Optional[int] = None,
+                      write_batch_size: Optional[int] = None,
+                      batch_interval_ms: Optional[float] = None) -> "EngineConfig":
+        updates = {key: value for key, value in (
+            ("read_batches", read_batches),
+            ("read_batch_size", read_batch_size),
+            ("write_batch_size", write_batch_size),
+            ("batch_interval_ms", batch_interval_ms)) if value is not None}
+        return replace(self, **updates)
+
+    def with_durability(self, enabled: bool = True,
+                        checkpoint_frequency: Optional[int] = None) -> "EngineConfig":
+        config = replace(self, durability=enabled)
+        if checkpoint_frequency is not None:
+            config = replace(config, checkpoint_frequency=checkpoint_frequency)
+        return config
+
+    def with_encryption(self, enabled: bool = True) -> "EngineConfig":
+        return replace(self, encrypt=enabled)
+
+    def with_locking(self, *, local_execution: Optional[bool] = None,
+                     exclusive_reads: Optional[bool] = None) -> "EngineConfig":
+        updates = {}
+        if local_execution is not None:
+            updates["local_execution"] = local_execution
+        if exclusive_reads is not None:
+            updates["exclusive_reads"] = exclusive_reads
+        return replace(self, **updates)
+
+    def with_seed(self, seed: Optional[int]) -> "EngineConfig":
+        return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # Materialisation
+    # ------------------------------------------------------------------ #
+    def to_obladi_config(self) -> ObladiConfig:
+        """Resolve to a full :class:`ObladiConfig` (presets + overrides)."""
+        overrides = {}
+        for field_name in ("read_batches", "read_batch_size", "write_batch_size",
+                           "batch_interval_ms", "durability", "encrypt",
+                           "checkpoint_frequency"):
+            value = getattr(self, field_name)
+            if value is not None:
+                overrides[field_name] = value
+        overrides["seed"] = self.seed
+
+        num_blocks = self.num_blocks
+        oram = self.oram
+        if oram is None and num_blocks is not None:
+            oram = RingOramConfig(num_blocks=num_blocks)
+        if oram is not None:
+            overrides["oram"] = oram
+            num_blocks = oram.num_blocks
+
+        if self.workload is not None:
+            return ObladiConfig.for_workload(
+                self.workload, num_blocks=num_blocks if num_blocks else 10_000,
+                backend=self.backend, **overrides)
+        return ObladiConfig(backend=self.backend, **overrides)
+
+
+def create_engine(kind: str,
+                  config: Optional[Union[EngineConfig, ObladiConfig]] = None,
+                  *, storage=None, clock=None, **overrides) -> TransactionEngine:
+    """Create a :class:`TransactionEngine` of the given ``kind``.
+
+    Parameters
+    ----------
+    kind:
+        ``"obladi"``, ``"nopriv"`` or ``"mysql"`` (a few legacy aliases such
+        as ``"2pl"`` are accepted).
+    config:
+        An :class:`EngineConfig`, or — for the Obladi engine only — a fully
+        resolved :class:`ObladiConfig`.  Defaults to ``EngineConfig()``.
+    storage:
+        Optional pre-built :class:`~repro.storage.memory.InMemoryStorageServer`
+        to run against (shared-storage and trace-inspection scenarios).
+    clock:
+        Optional shared :class:`~repro.sim.clock.SimClock`.
+    overrides:
+        ``EngineConfig`` field overrides applied on top of ``config``, so
+        quick one-offs read ``create_engine("nopriv", backend="server_wan")``.
+    """
+    normalized = _KIND_ALIASES.get(kind.lower(), kind.lower())
+    if normalized not in ENGINE_KINDS:
+        raise KeyError(f"unknown engine kind {kind!r}; valid: {', '.join(ENGINE_KINDS)}")
+
+    obladi_config: Optional[ObladiConfig] = None
+    if isinstance(config, ObladiConfig):
+        if normalized != "obladi":
+            raise TypeError("an ObladiConfig can only configure the 'obladi' engine")
+        if overrides:
+            raise TypeError("pass EngineConfig (not ObladiConfig) to combine overrides")
+        obladi_config = config
+        engine_config = EngineConfig(backend=config.backend, seed=config.seed)
+    else:
+        engine_config = config if config is not None else EngineConfig()
+        if overrides:
+            engine_config = replace(engine_config, **overrides)
+
+    if normalized == "obladi":
+        from repro.core.proxy import ObladiProxy
+        if obladi_config is None:
+            obladi_config = engine_config.to_obladi_config()
+        return ObladiEngine(ObladiProxy(obladi_config, storage=storage, clock=clock))
+
+    if normalized == "nopriv":
+        from repro.baseline.nopriv import NoPrivProxy
+        return NoPrivEngine(NoPrivProxy(backend=engine_config.backend, clock=clock,
+                                        storage=storage, seed=engine_config.seed))
+
+    from repro.baseline.mysql_like import TwoPhaseLockingStore
+    return MySQLEngine(TwoPhaseLockingStore(
+        backend=engine_config.backend, clock=clock, storage=storage,
+        seed=engine_config.seed, local_execution=engine_config.local_execution,
+        exclusive_reads=engine_config.exclusive_reads))

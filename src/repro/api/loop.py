@@ -1,0 +1,108 @@
+"""The one shared closed-loop driver.
+
+Historically the repo had three copies of the closed-loop retry logic: the
+Obladi epoch driver in ``workloads/driver.py`` and one hand-rolled retry
+path inside each baseline's ``run_transactions``.  They have been folded
+into this module:
+
+* :func:`run_closed_loop` is the engine-agnostic loop every
+  :class:`~repro.api.engine.TransactionEngine` uses: draw up to ``clients``
+  programs (retries first), execute them as one wave via
+  ``engine.submit_many``, record outcomes, re-queue aborted programs up to
+  ``max_retries`` times.
+* :class:`RetryPolicy` is the retry/backoff policy itself.  The closed loop
+  uses its attempt accounting; the baselines' internal discrete-event
+  simulations use its :meth:`RetryPolicy.backoff_ms` so a conflict-aborted
+  transaction is not replayed in lockstep (the jitter formula that used to
+  be duplicated in ``nopriv.py`` and ``mysql_like.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.api.engine import FactorySource, ProgramFactory, TransactionEngine
+from repro.api.results import RunStats
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff applied when an aborted transaction is re-submitted.
+
+    ``backoff_slope_ms`` grows the delay linearly with the attempt number;
+    ``jitter_step_ms`` adds a deterministic per-transaction phase
+    (``txn_id % jitter_buckets``) so concurrent retries do not re-align.
+    Real clients get the same effect from scheduling noise.  (How *many*
+    retries are allowed is a call-site parameter — ``max_retries`` on
+    :func:`run_closed_loop` and the baselines' ``run_transactions`` — not
+    part of the backoff policy.)
+    """
+
+    backoff_slope_ms: float = 0.2
+    jitter_step_ms: float = 0.05
+    jitter_buckets: int = 7
+
+    def backoff_ms(self, txn_id: int, attempts: int) -> float:
+        """Delay before re-submitting ``txn_id``'s ``attempts``-th retry."""
+        jitter = (txn_id % self.jitter_buckets) * self.jitter_step_ms
+        return jitter + self.backoff_slope_ms * attempts
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def run_closed_loop(engine: TransactionEngine, factory_source: FactorySource,
+                    total_transactions: int, clients: int = 32,
+                    max_retries: int = 2, max_batches: int = 10_000) -> RunStats:
+    """Run ``total_transactions`` through ``engine``, closed loop.
+
+    Each iteration fills up to ``clients`` slots — retried programs first,
+    then fresh draws from ``factory_source`` — and hands the wave to
+    ``engine.submit_many``.  A program whose attempt aborts is re-queued
+    until it has been retried ``max_retries`` times; afterwards its abort is
+    final and the slot draws fresh work.  ``max_batches`` bounds the loop
+    for pathological configurations (e.g. an epoch too small for any
+    transaction to finish).
+    """
+    stats = RunStats(engine=engine.name)
+    start_ms = engine.clock.now_ms
+    reads_before, writes_before = engine.io_counters()
+    cpu_before = engine.cpu_ms()
+
+    remaining = total_transactions
+    # Attempt counts travel with their factory; keying a dict by id(factory)
+    # would alias once a finished factory is garbage-collected and its
+    # address reused by a fresh one.
+    retry_pool: List[Tuple[ProgramFactory, int]] = []
+
+    while (remaining > 0 or retry_pool) and stats.epochs < max_batches:
+        wave: List[Tuple[ProgramFactory, int]] = []
+        while retry_pool and len(wave) < clients:
+            wave.append(retry_pool.pop(0))
+        while remaining > 0 and len(wave) < clients:
+            wave.append((factory_source(), 0))
+            remaining -= 1
+        if not wave:
+            break
+
+        results = engine.submit_many([factory for factory, _ in wave])
+        stats.epochs += 1
+
+        for (factory, attempts), result in zip(wave, results):
+            stats.results.append(result)
+            if result.committed:
+                stats.committed += 1
+                stats.latencies_ms.append(result.latency_ms)
+            else:
+                stats.aborted += 1
+                if attempts < max_retries:
+                    retry_pool.append((factory, attempts + 1))
+                    stats.retries += 1
+
+    stats.elapsed_ms = engine.clock.now_ms - start_ms
+    reads_after, writes_after = engine.io_counters()
+    stats.physical_reads = reads_after - reads_before
+    stats.physical_writes = writes_after - writes_before
+    stats.cpu_ms = engine.cpu_ms() - cpu_before
+    return stats

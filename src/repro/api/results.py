@@ -1,0 +1,142 @@
+"""The unified run-result type shared by every transaction engine.
+
+Before the :mod:`repro.api` layer existed, closed-loop runs produced two
+incompatible result types: ``BaselineRunResult`` (the baselines' discrete
+event simulations) and ``WorkloadRun`` (the Obladi epoch driver).  Harness
+code had to know which system produced a run before it could read a
+throughput number.  :class:`RunStats` replaces both: every engine's
+``run_closed_loop`` returns one, with identical field semantics, so rows of
+Figure 9 can be computed without a single ``isinstance`` check.
+
+``BaselineRunResult`` and ``WorkloadRun`` remain importable as aliases of
+this class; the legacy attribute names (``system``, ``makespan_ms``) are
+provided as read/write properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.client import TransactionResult
+
+
+@dataclass
+class RunStats:
+    """Aggregate outcome of a closed-loop run against any engine.
+
+    Attributes
+    ----------
+    engine:
+        Name of the engine that produced the run (``"obladi"``, ``"nopriv"``,
+        ``"mysql"``, ...).
+    committed / aborted:
+        Final transaction outcomes.  A transaction that aborts and later
+        commits on retry counts once in each column, so
+        ``committed + aborted == len(results)`` (total attempts), and
+        ``committed + aborted - retries`` equals the number of distinct
+        programs that reached a final verdict.
+    retries:
+        Number of aborted attempts that were re-queued.
+    elapsed_ms:
+        Simulated wall-clock duration of the run (the baselines' makespan;
+        the proxy's epoch span).
+    cpu_ms:
+        Simulated proxy CPU consumed, where the engine models it (0 otherwise).
+    epochs:
+        Scheduling waves executed: epochs for the Obladi proxy, client
+        batches for the baselines.
+    physical_reads / physical_writes:
+        Physical storage requests issued during the run (ORAM bucket I/O for
+        Obladi, raw key I/O for the baselines).
+    latencies_ms:
+        Per-committed-transaction latency samples.  Latency is measured over
+        the *committing attempt* (submission of that attempt to its commit),
+        identically for every engine; queueing time spent between retry
+        waves is not included.  This is the one measurement model of the
+        unified closed loop — the pre-engine-layer baselines measured some
+        of that waiting, so their absolute numbers shifted slightly when
+        they were folded in (the paper's qualitative relationships are
+        unchanged).
+    results:
+        Every :class:`~repro.core.client.TransactionResult` observed,
+        including aborted attempts that were later retried.
+    """
+
+    engine: str = ""
+    committed: int = 0
+    aborted: int = 0
+    retries: int = 0
+    elapsed_ms: float = 0.0
+    cpu_ms: float = 0.0
+    epochs: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    results: List[TransactionResult] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def attempts(self) -> int:
+        """Total transaction attempts (committed + aborted)."""
+        return self.committed + self.aborted
+
+    @property
+    def throughput_tps(self) -> float:
+        """Committed transactions per simulated second."""
+        if self.elapsed_ms <= 0:
+            return 0.0
+        return self.committed * 1000.0 / self.elapsed_ms
+
+    @property
+    def average_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return sum(self.latencies_ms) / len(self.latencies_ms)
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self._percentile(0.50)
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return self._percentile(0.95)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self._percentile(0.99)
+
+    def _percentile(self, fraction: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.committed + self.aborted
+        return self.aborted / total if total else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Legacy attribute names
+    # ------------------------------------------------------------------ #
+    @property
+    def system(self) -> str:
+        """Legacy alias of :attr:`engine` (``WorkloadRun.system``)."""
+        return self.engine
+
+    @system.setter
+    def system(self, value: str) -> None:
+        self.engine = value
+
+    @property
+    def makespan_ms(self) -> float:
+        """Legacy alias of :attr:`elapsed_ms` (``BaselineRunResult.makespan_ms``)."""
+        return self.elapsed_ms
+
+    @makespan_ms.setter
+    def makespan_ms(self, value: float) -> None:
+        self.elapsed_ms = value

@@ -7,6 +7,10 @@
 * :class:`~repro.baseline.mysql_like.TwoPhaseLockingStore` — a MySQL/InnoDB
   stand-in: strict two-phase locking with locks held until commit, which is
   what serialises TPC-C's new-order/payment contention in the paper.
+
+Both are usually driven through the unified engine layer
+(:func:`repro.api.create_engine` with kind ``"nopriv"`` or ``"mysql"``);
+``BaselineRunResult`` is now an alias of :class:`repro.api.results.RunStats`.
 """
 
 from repro.baseline.common import BaselineRunResult

@@ -11,53 +11,25 @@ simulated clock:
   larger of "last client finished" and "total CPU demanded" — this is how
   the ``dummy``/LAN configurations become CPU-bound while WAN configurations
   stay I/O-bound, as in the paper.
+
+Run results are :class:`repro.api.results.RunStats`, the unified result type
+of the engine layer (``BaselineRunResult`` is kept as an alias).  The
+retry/backoff bookkeeping both executors share lives in
+:func:`record_attempt`, parameterised by the engine layer's
+:class:`~repro.api.loop.RetryPolicy`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
+from repro.api.loop import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.api.results import RunStats
 from repro.core.client import TransactionResult
 
-
-@dataclass
-class BaselineRunResult:
-    """Aggregate outcome of a closed-loop baseline run."""
-
-    committed: int = 0
-    aborted: int = 0
-    retries: int = 0
-    makespan_ms: float = 0.0
-    cpu_ms: float = 0.0
-    latencies_ms: List[float] = field(default_factory=list)
-    results: List[TransactionResult] = field(default_factory=list)
-
-    @property
-    def throughput_tps(self) -> float:
-        """Committed transactions per simulated second."""
-        if self.makespan_ms <= 0:
-            return 0.0
-        return self.committed * 1000.0 / self.makespan_ms
-
-    @property
-    def average_latency_ms(self) -> float:
-        if not self.latencies_ms:
-            return 0.0
-        return sum(self.latencies_ms) / len(self.latencies_ms)
-
-    @property
-    def p95_latency_ms(self) -> float:
-        if not self.latencies_ms:
-            return 0.0
-        ordered = sorted(self.latencies_ms)
-        index = min(len(ordered) - 1, int(0.95 * len(ordered)))
-        return ordered[index]
-
-    @property
-    def abort_rate(self) -> float:
-        total = self.committed + self.aborted
-        return self.aborted / total if total else 0.0
+#: Unified result type; the historical name remains importable.
+BaselineRunResult = RunStats
 
 
 @dataclass
@@ -88,3 +60,37 @@ class PendingProgram:
     attempts: int = 0
     first_submit_ms: float = 0.0
     not_before_ms: float = 0.0
+
+
+def record_attempt(run: RunStats, pending: PendingProgram, txn_id: int,
+                   slot_time_ms: float, committed: bool, reason: Optional[str],
+                   return_value, queue: List[PendingProgram],
+                   retry_aborted: bool, max_retries: int,
+                   policy: RetryPolicy = DEFAULT_RETRY_POLICY) -> TransactionResult:
+    """Account for one finished transaction attempt.
+
+    Updates ``run`` counters and latency samples, appends the attempt's
+    :class:`~repro.core.client.TransactionResult`, and — when the attempt
+    aborted and retries remain — re-queues ``pending`` with the policy's
+    backoff so the same conflict is not replayed in lockstep.  Returns the
+    recorded result.  (This is the bookkeeping that used to be duplicated
+    between the NoPriv and 2PL executors.)
+    """
+    latency = slot_time_ms - pending.first_submit_ms
+    if committed:
+        run.committed += 1
+        run.latencies_ms.append(latency)
+    else:
+        run.aborted += 1
+        if retry_aborted and pending.attempts < max_retries:
+            pending.attempts += 1
+            run.retries += 1
+            pending.not_before_ms = slot_time_ms + policy.backoff_ms(txn_id,
+                                                                     pending.attempts)
+            queue.append(pending)
+    result = TransactionResult(
+        txn_id=txn_id, committed=committed,
+        return_value=return_value if committed else None,
+        abort_reason=reason, latency_ms=latency, epoch=-1)
+    run.results.append(result)
+    return result

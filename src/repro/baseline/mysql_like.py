@@ -24,12 +24,14 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Generator, List, Optional, Tuple
 
-from repro.baseline.common import BaselineRunResult, ClientSlot, PendingProgram, ProgramFactory
+from repro.api.results import RunStats
+from repro.baseline.common import (ClientSlot, PendingProgram, ProgramFactory,
+                                   record_attempt)
 from repro.concurrency.transaction import (AbortReason, CommittedTransaction,
                                            TransactionRecord, TransactionStatus)
 from repro.concurrency.two_phase_locking import DeadlockError, LockManager, LockMode
 from repro.core.client import (AbortRequest, Read, ReadMany, TransactionAborted,
-                               TransactionResult, Write)
+                               Write)
 from repro.sim.clock import SimClock
 from repro.sim.latency import get_latency_model
 from repro.storage.memory import InMemoryStorageServer
@@ -62,11 +64,17 @@ class TwoPhaseLockingStore:
 
     def __init__(self, backend: str = "server", clock: Optional[SimClock] = None,
                  seed: Optional[int] = 0, local_execution: bool = True,
-                 exclusive_reads: bool = True) -> None:
+                 exclusive_reads: bool = True,
+                 storage: Optional[InMemoryStorageServer] = None) -> None:
         self.latency = get_latency_model(backend)
         self.clock = clock if clock is not None else SimClock()
-        self.storage = InMemoryStorageServer(latency=self.latency, clock=self.clock,
-                                             charge_latency=False, record_trace=False)
+        if storage is None:
+            storage = InMemoryStorageServer(latency=self.latency, clock=self.clock,
+                                            charge_latency=False, record_trace=False)
+        else:
+            storage.clock = self.clock
+            storage.charge_latency = False
+        self.storage = storage
         self.locks = LockManager()
         self.local_execution = local_execution
         # The paper describes MySQL as acquiring exclusive locks for the
@@ -109,8 +117,9 @@ class TwoPhaseLockingStore:
     # Closed-loop execution
     # ------------------------------------------------------------------ #
     def run_transactions(self, factories: List[ProgramFactory], clients: int = 32,
-                         retry_aborted: bool = True, max_retries: int = 3) -> BaselineRunResult:
-        result = BaselineRunResult()
+                         retry_aborted: bool = True, max_retries: int = 3) -> RunStats:
+        result = RunStats(engine="mysql")
+        base_ms = self.clock.now_ms
         queue: List[PendingProgram] = [PendingProgram(factory=f) for f in factories]
         slots = [ClientSlot(slot_id=i) for i in range(max(1, clients))]
         idle: List[Tuple[float, int]] = [(slot.time_ms, slot.slot_id) for slot in slots]
@@ -144,31 +153,14 @@ class TwoPhaseLockingStore:
 
         def finish(runner: _Runner, committed: bool, reason: Optional[str]) -> None:
             nonlocal finish_ms, cpu_ms_total, seq
-            latency = runner.slot.time_ms - runner.pending.first_submit_ms
             finish_ms = max(finish_ms, runner.slot.time_ms)
             cpu_ms_total += (runner.record.operations * self.CPU_PER_OP_MS
                              + self.CPU_PER_COMMIT_MS)
             if committed:
-                result.committed += 1
-                result.latencies_ms.append(latency)
                 self.committed_history.append(CommittedTransaction.from_record(runner.record))
-            else:
-                result.aborted += 1
-                if retry_aborted and runner.pending.attempts < max_retries:
-                    runner.pending.attempts += 1
-                    result.retries += 1
-                    # Retry backoff: resubmit only after a short delay so the
-                    # same conflict is not replayed in lockstep.  The per-
-                    # transaction jitter term keeps concurrent retries from
-                    # re-aligning deterministically.
-                    jitter = (runner.record.txn_id % 7) * 0.05
-                    runner.pending.not_before_ms = (runner.slot.time_ms + jitter
-                                                    + 0.2 * runner.pending.attempts)
-                    queue.append(runner.pending)
-            result.results.append(TransactionResult(
-                txn_id=runner.record.txn_id, committed=committed,
-                return_value=runner.return_value if committed else None,
-                abort_reason=reason, latency_ms=latency, epoch=-1))
+            record_attempt(result, runner.pending, runner.record.txn_id,
+                           runner.slot.time_ms, committed, reason, runner.return_value,
+                           queue, retry_aborted, max_retries)
             runner.done = True
             # Release this transaction's locks and wake eligible waiters.
             grants = self.locks.release_all(runner.record.txn_id)
@@ -214,8 +206,10 @@ class TwoPhaseLockingStore:
                 finish(runner, committed, reason)
 
         result.cpu_ms = cpu_ms_total
-        result.makespan_ms = max(finish_ms, cpu_ms_total)
-        self.clock.advance_to(result.makespan_ms)
+        result.elapsed_ms = max(finish_ms, cpu_ms_total)
+        # Slot times are run-local; anchor the shared clock at the call's
+        # start so consecutive runs accumulate simulated time correctly.
+        self.clock.advance_to(base_ms + result.elapsed_ms)
         return result
 
     # ------------------------------------------------------------------ #

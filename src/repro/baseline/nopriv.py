@@ -22,12 +22,14 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Generator, List, Optional, Tuple
 
-from repro.baseline.common import BaselineRunResult, ClientSlot, PendingProgram, ProgramFactory
+from repro.api.results import RunStats
+from repro.baseline.common import (ClientSlot, PendingProgram, ProgramFactory,
+                                   record_attempt)
 from repro.concurrency.mvtso import MVTSOManager, WriteConflictError
 from repro.concurrency.transaction import (AbortReason, CommittedTransaction,
                                            TransactionStatus)
 from repro.core.client import (AbortRequest, Read, ReadMany, TransactionAborted,
-                               TransactionResult, Write)
+                               Write)
 from repro.sim.clock import SimClock
 from repro.sim.latency import CpuCostModel, get_latency_model
 from repro.storage.memory import InMemoryStorageServer
@@ -56,12 +58,18 @@ class NoPrivProxy:
     CPU_PER_COMMIT_MS = 0.020
 
     def __init__(self, backend: str = "server", clock: Optional[SimClock] = None,
-                 cost_model: Optional[CpuCostModel] = None, seed: Optional[int] = 0) -> None:
+                 cost_model: Optional[CpuCostModel] = None, seed: Optional[int] = 0,
+                 storage: Optional[InMemoryStorageServer] = None) -> None:
         self.latency = get_latency_model(backend)
         self.clock = clock if clock is not None else SimClock()
         self.cost_model = cost_model if cost_model is not None else CpuCostModel()
-        self.storage = InMemoryStorageServer(latency=self.latency, clock=self.clock,
-                                             charge_latency=False, record_trace=False)
+        if storage is None:
+            storage = InMemoryStorageServer(latency=self.latency, clock=self.clock,
+                                            charge_latency=False, record_trace=False)
+        else:
+            storage.clock = self.clock
+            storage.charge_latency = False
+        self.storage = storage
         self.mvtso = MVTSOManager()
         self.committed_history: List[CommittedTransaction] = []
         self.seed = seed
@@ -88,9 +96,10 @@ class NoPrivProxy:
     # Closed-loop execution
     # ------------------------------------------------------------------ #
     def run_transactions(self, factories: List[ProgramFactory], clients: int = 32,
-                         retry_aborted: bool = True, max_retries: int = 3) -> BaselineRunResult:
+                         retry_aborted: bool = True, max_retries: int = 3) -> RunStats:
         """Run every program to completion with ``clients`` concurrent slots."""
-        result = BaselineRunResult()
+        result = RunStats(engine="nopriv")
+        base_ms = self.clock.now_ms
         queue: List[PendingProgram] = [PendingProgram(factory=f) for f in factories]
         slots = [ClientSlot(slot_id=i) for i in range(max(1, clients))]
         idle: List[Tuple[float, int]] = [(slot.time_ms, slot.slot_id) for slot in slots]
@@ -124,29 +133,12 @@ class NoPrivProxy:
 
         def finish(runner: _Runner, committed: bool, reason: Optional[str]) -> None:
             nonlocal finish_ms
-            latency = runner.slot.time_ms - runner.pending.first_submit_ms
             finish_ms = max(finish_ms, runner.slot.time_ms)
             if committed:
-                result.committed += 1
-                result.latencies_ms.append(latency)
                 self.committed_history.append(CommittedTransaction.from_record(runner.record))
-            else:
-                result.aborted += 1
-                if retry_aborted and runner.pending.attempts < max_retries:
-                    runner.pending.attempts += 1
-                    result.retries += 1
-                    # Retry backoff: resubmit only after a short delay so the
-                    # same conflict is not replayed in lockstep.  The per-
-                    # transaction jitter term keeps concurrent retries from
-                    # re-aligning deterministically.
-                    jitter = (runner.record.txn_id % 7) * 0.05
-                    runner.pending.not_before_ms = (runner.slot.time_ms + jitter
-                                                    + 0.2 * runner.pending.attempts)
-                    queue.append(runner.pending)
-            result.results.append(TransactionResult(
-                txn_id=runner.record.txn_id, committed=committed,
-                return_value=runner.return_value if committed else None,
-                abort_reason=reason, latency_ms=latency, epoch=-1))
+            record_attempt(result, runner.pending, runner.record.txn_id,
+                           runner.slot.time_ms, committed, reason, runner.return_value,
+                           queue, retry_aborted, max_retries)
             heapq.heappush(idle, (runner.slot.time_ms, runner.slot.slot_id))
             runner.done = True
 
@@ -205,8 +197,10 @@ class NoPrivProxy:
                 resolve_waiting()
 
         result.cpu_ms = cpu_ms_total
-        result.makespan_ms = max(finish_ms, cpu_ms_total)
-        self.clock.advance_to(result.makespan_ms)
+        result.elapsed_ms = max(finish_ms, cpu_ms_total)
+        # Slot times are run-local; anchor the shared clock at the call's
+        # start so consecutive runs accumulate simulated time correctly.
+        self.clock.advance_to(base_ms + result.elapsed_ms)
         return result
 
     # ------------------------------------------------------------------ #

@@ -124,11 +124,13 @@ def static_program(reads: Iterable[str],
 class Transaction:
     """Blocking convenience façade used by the quickstart example.
 
-    The proxy exposes ``proxy.transaction()`` returning one of these; reads
-    and writes are buffered and submitted as a single generator program when
-    :meth:`commit` is called, so each interactive transaction occupies one
-    epoch slot.  Reads issued before commit return the proxy's current
-    committed state (they are re-validated at commit time by MVTSO).
+    Engines expose ``engine.transaction()`` (and the proxy
+    ``proxy.transaction()``) returning one of these; reads and writes are
+    buffered and submitted as a single generator program when :meth:`commit`
+    is called, so each interactive transaction occupies one epoch slot.
+    Reads issued before commit see the transaction's own buffered writes
+    first, then the current committed state (and are re-validated at commit
+    time by the engine's concurrency control).
     """
 
     def __init__(self, submit: Callable[[TransactionProgram], TransactionResult],
@@ -139,9 +141,17 @@ class Transaction:
         self._finished = False
 
     def read(self, key: str) -> Optional[bytes]:
-        """Read a key; the value reflects the latest committed epoch."""
+        """Read a key.
+
+        The transaction's own buffered writes are visible first
+        (read-your-own-writes); otherwise the value reflects the latest
+        committed epoch.
+        """
         self._check_open()
         self._ops.append(("read", key, None))
+        for kind, op_key, value in reversed(self._ops[:-1]):
+            if kind == "write" and op_key == key:
+                return value
         return self._read_now(key)
 
     def write(self, key: str, value: bytes) -> None:

@@ -22,18 +22,14 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.baseline.mysql_like import TwoPhaseLockingStore
-from repro.baseline.nopriv import NoPrivProxy
+from repro.api import EngineConfig, create_engine
 from repro.core.config import ObladiConfig, RingOramConfig
-from repro.core.proxy import ObladiProxy
 from repro.oram.batch_executor import EpochBatchExecutor
 from repro.oram.parameters import derive_parameters
 from repro.oram.ring_oram import OramAccess, OramOp, RingOram
-from repro.recovery.manager import recover_proxy
 from repro.sim.clock import SimClock
 from repro.sim.latency import BACKENDS, get_latency_model, wan_variant
 from repro.storage.memory import InMemoryStorageServer
-from repro.workloads.driver import run_baseline_closed_loop, run_obladi_closed_loop
 from repro.workloads.freehealth import FreeHealthConfig, FreeHealthWorkload
 from repro.workloads.smallbank import SmallBankConfig, SmallBankWorkload
 from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
@@ -149,31 +145,23 @@ def run_end_to_end(applications: Sequence[str] = ("tpcc", "freehealth", "smallba
             data = workload.initial_data()
             wan = system.endswith("_wan")
             backend = "server_wan" if wan else "server"
-            rng = random.Random(seed)
-            del rng
 
             if system.startswith("obladi"):
-                config = _obladi_config_for(app, num_blocks=max(len(data) * 2, 2048),
-                                            backend=backend, encrypt=encrypt, clients=clients)
-                proxy = ObladiProxy(config)
-                proxy.load_initial_data(data)
-                run = run_obladi_closed_loop(proxy, workload.transaction_factory,
-                                             total_transactions=transactions,
-                                             clients=clients)
+                engine = create_engine("obladi", _obladi_config_for(
+                    app, num_blocks=max(len(data) * 2, 2048),
+                    backend=backend, encrypt=encrypt, clients=clients))
             elif system.startswith("nopriv"):
-                baseline = NoPrivProxy(backend=backend)
-                baseline.load_initial_data(data)
-                run = run_baseline_closed_loop(baseline, workload.transaction_factory,
-                                               total_transactions=transactions,
-                                               clients=clients)
+                engine = create_engine("nopriv", EngineConfig(backend=backend, seed=seed))
             elif system == "mysql":
-                baseline = TwoPhaseLockingStore(backend="server")
-                baseline.load_initial_data(data)
-                run = run_baseline_closed_loop(baseline, workload.transaction_factory,
-                                               total_transactions=transactions,
-                                               clients=clients)
+                # MySQL in the paper runs locally, so it never sees the WAN.
+                engine = create_engine("mysql", EngineConfig(backend="server", seed=seed))
             else:
                 raise KeyError(f"unknown system {system!r}")
+
+            engine.load_initial_data(data)
+            run = engine.run_closed_loop(workload.transaction_factory,
+                                         total_transactions=transactions,
+                                         clients=clients)
 
             rows.append(EndToEndRow(
                 application=app,
@@ -418,9 +406,9 @@ def run_epoch_size_proxy(applications: Sequence[str] = ("smallbank", "freehealth
             from dataclasses import replace
             config = replace(config, read_batches=read_batches,
                              batch_interval_ms=batch_interval_ms, durability=False)
-            proxy = ObladiProxy(config)
-            proxy.load_initial_data(data)
-            run = run_obladi_closed_loop(proxy, workload.transaction_factory,
+            engine = create_engine("obladi", config)
+            engine.load_initial_data(data)
+            run = engine.run_closed_loop(workload.transaction_factory,
                                          total_transactions=transactions, clients=clients)
             rows.append(EpochSizeProxyRow(application=app, epoch_ms=epoch_ms,
                                           read_batches=read_batches,
@@ -461,9 +449,9 @@ def run_checkpoint_frequency(frequencies: Sequence[int] = (1, 4, 16, 64, 256),
                                                checkpoint_frequency=frequency,
                                                read_batch_size=clients * ops_per_transaction,
                                                write_batch_size=clients * ops_per_transaction)
-            proxy = ObladiProxy(config)
-            proxy.load_initial_data(data)
-            run = run_obladi_closed_loop(proxy, ycsb.transaction_factory,
+            engine = create_engine("obladi", config)
+            engine.load_initial_data(data)
+            run = engine.run_closed_loop(ycsb.transaction_factory,
                                          total_transactions=transactions, clients=clients)
             ops = run.committed * ops_per_transaction
             tput = ops * 1000.0 / run.elapsed_ms if run.elapsed_ms > 0 else 0.0
@@ -500,11 +488,11 @@ def _ycsb_obladi_run(num_records: int, durability: bool, backend: str,
                                        checkpoint_frequency=checkpoint_frequency,
                                        read_batch_size=clients * 4,
                                        write_batch_size=clients * 4)
-    proxy = ObladiProxy(config)
-    proxy.load_initial_data(data)
-    run = run_obladi_closed_loop(proxy, ycsb.transaction_factory,
+    engine = create_engine("obladi", config)
+    engine.load_initial_data(data)
+    run = engine.run_closed_loop(ycsb.transaction_factory,
                                  total_transactions=transactions, clients=clients)
-    return proxy, config, run
+    return engine, config, run
 
 
 def run_recovery_table(sizes: Sequence[int] = (1_000, 10_000, 100_000),
@@ -514,15 +502,16 @@ def run_recovery_table(sizes: Sequence[int] = (1_000, 10_000, 100_000),
     rows: List[RecoveryRow] = []
     for size in sizes:
         # Normal-execution slowdown: with vs without durability.
-        _proxy_off, _cfg, run_off = _ycsb_obladi_run(size, durability=False, backend=backend,
-                                                     transactions=transactions, clients=clients)
-        proxy_on, config_on, run_on = _ycsb_obladi_run(size, durability=True, backend=backend,
-                                                       transactions=transactions, clients=clients)
+        _engine_off, _cfg, run_off = _ycsb_obladi_run(size, durability=False, backend=backend,
+                                                      transactions=transactions, clients=clients)
+        engine_on, _config_on, run_on = _ycsb_obladi_run(size, durability=True, backend=backend,
+                                                         transactions=transactions, clients=clients)
         slowdown = (run_on.throughput_tps / run_off.throughput_tps
                     if run_off.throughput_tps > 0 else 0.0)
 
         # Crash the durable proxy mid-epoch and recover it.
         ycsb = YCSBWorkload(YCSBConfig(num_records=size, ops_per_transaction=4, seed=11))
+        proxy_on = engine_on.proxy
         for _ in range(clients):
             proxy_on.submit(ycsb.transaction_factory())
         from repro.core.errors import ProxyCrashedError
@@ -534,9 +523,8 @@ def run_recovery_table(sizes: Sequence[int] = (1_000, 10_000, 100_000),
             proxy_on.run_epoch()
         except ProxyCrashedError:
             pass
-        _recovered, result = recover_proxy(proxy_on.storage, config_on,
-                                           master_key=proxy_on.master_key)
-        levels = proxy_on.oram.params.depth
+        result = engine_on.recover()
+        levels = engine_on.proxy.oram.params.depth
         rows.append(RecoveryRow(
             num_objects=size,
             tree_levels=levels,

@@ -10,8 +10,9 @@
   episode creation.
 * :mod:`repro.workloads.ycsb` — YCSB-style key-value microbenchmark used for
   the ORAM-level experiments of Figure 10.
-* :mod:`repro.workloads.driver` — closed-loop drivers that run any of these
-  against the Obladi proxy or the baselines.
+* :mod:`repro.workloads.driver` — legacy closed-loop entry points; the loop
+  itself lives in :mod:`repro.api.loop` and runs any workload against any
+  :class:`~repro.api.engine.TransactionEngine`.
 """
 
 from repro.workloads.records import encode_record, decode_record

@@ -1,126 +1,49 @@
-"""Closed-loop workload drivers.
+"""Closed-loop workload drivers (legacy entry points).
 
-The evaluation runs every system the same way: ``C`` concurrent clients, each
-submitting one transaction at a time and immediately submitting the next when
-the previous one finishes, with aborted transactions retried a bounded number
-of times.  The drivers here implement that loop for
-
-* the Obladi proxy (transactions are admitted per epoch, and a client learns
-  its transaction's fate only when the epoch commits), and
-* the baselines (which commit transactions individually).
+The closed loop itself now lives in the unified engine layer — see
+:func:`repro.api.loop.run_closed_loop` and
+:meth:`repro.api.engine.TransactionEngine.run_closed_loop`.  This module
+keeps the historical function names as thin shims that wrap a bare system
+in its engine adapter and delegate, so older call sites and tests keep
+working; new code should use :func:`repro.api.create_engine` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
-from repro.baseline.common import BaselineRunResult
+from repro.api.adapters import wrap_engine
+from repro.api.loop import run_closed_loop
+from repro.api.results import RunStats
 from repro.core.proxy import ObladiProxy
-
 
 ProgramFactory = Callable[[], object]
 FactorySource = Callable[[], ProgramFactory]
 
-
-@dataclass
-class WorkloadRun:
-    """Outcome of one closed-loop run against any of the systems."""
-
-    system: str
-    committed: int = 0
-    aborted: int = 0
-    retries: int = 0
-    elapsed_ms: float = 0.0
-    latencies_ms: List[float] = field(default_factory=list)
-    epochs: int = 0
-    physical_reads: int = 0
-    physical_writes: int = 0
-
-    @property
-    def throughput_tps(self) -> float:
-        if self.elapsed_ms <= 0:
-            return 0.0
-        return self.committed * 1000.0 / self.elapsed_ms
-
-    @property
-    def average_latency_ms(self) -> float:
-        if not self.latencies_ms:
-            return 0.0
-        return sum(self.latencies_ms) / len(self.latencies_ms)
-
-    @property
-    def abort_rate(self) -> float:
-        total = self.committed + self.aborted
-        return self.aborted / total if total else 0.0
+#: Unified result type; the historical name remains importable.
+WorkloadRun = RunStats
 
 
 def run_obladi_closed_loop(proxy: ObladiProxy, factory_source: FactorySource,
                            total_transactions: int, clients: int = 32,
-                           max_retries: int = 2, max_epochs: int = 10_000) -> WorkloadRun:
+                           max_retries: int = 2, max_epochs: int = 10_000) -> RunStats:
     """Run ``total_transactions`` through the Obladi proxy, closed loop.
 
     Each epoch admits one transaction per client slot (a client whose
     transaction aborted retries it in a later epoch up to ``max_retries``
     times; afterwards the driver draws a fresh transaction).
     """
-    run = WorkloadRun(system="obladi")
-    start_ms = proxy.clock.now_ms
-    remaining = total_transactions
-    retry_pool: List[ProgramFactory] = []
-    retry_counts: Dict[int, int] = {}
-    epochs = 0
-
-    while (remaining > 0 or retry_pool) and epochs < max_epochs:
-        batch: List[ProgramFactory] = []
-        while retry_pool and len(batch) < clients:
-            batch.append(retry_pool.pop(0))
-        while remaining > 0 and len(batch) < clients:
-            batch.append(factory_source())
-            remaining -= 1
-        if not batch:
-            break
-        for factory in batch:
-            proxy.submit(factory)
-        summary = proxy.run_epoch()
-        epochs += 1
-        run.physical_reads += summary.physical_reads
-        run.physical_writes += summary.physical_writes
-
-        # Collect the results of this epoch's transactions.
-        epoch_results = [r for r in proxy.results.values() if r.epoch == summary.epoch_id]
-        for result, factory in zip(sorted(epoch_results, key=lambda r: r.txn_id), batch):
-            if result.committed:
-                run.committed += 1
-                run.latencies_ms.append(result.latency_ms)
-            else:
-                run.aborted += 1
-                attempts = retry_counts.get(id(factory), 0)
-                if attempts < max_retries:
-                    retry_counts[id(factory)] = attempts + 1
-                    retry_pool.append(factory)
-                    run.retries += 1
-
-    run.epochs = epochs
-    run.elapsed_ms = proxy.clock.now_ms - start_ms
-    return run
+    return run_closed_loop(wrap_engine(proxy), factory_source, total_transactions,
+                           clients=clients, max_retries=max_retries,
+                           max_batches=max_epochs)
 
 
 def run_baseline_closed_loop(baseline, factory_source: FactorySource,
                              total_transactions: int, clients: int = 32,
-                             max_retries: int = 2) -> WorkloadRun:
+                             max_retries: int = 2) -> RunStats:
     """Run a baseline (NoPriv or the 2PL store) closed loop."""
-    factories = [factory_source() for _ in range(total_transactions)]
-    start_ms = baseline.clock.now_ms
-    result: BaselineRunResult = baseline.run_transactions(factories, clients=clients,
-                                                          max_retries=max_retries)
-    run = WorkloadRun(system=type(baseline).__name__.lower())
-    run.committed = result.committed
-    run.aborted = result.aborted
-    run.retries = result.retries
-    run.latencies_ms = list(result.latencies_ms)
-    run.elapsed_ms = max(result.makespan_ms, baseline.clock.now_ms - start_ms)
-    return run
+    return run_closed_loop(wrap_engine(baseline), factory_source, total_transactions,
+                           clients=clients, max_retries=max_retries)
 
 
 def generate_mixed_factory_source(workload, mix: Optional[Dict[str, int]] = None

@@ -1,0 +1,220 @@
+"""Cross-engine conformance suite for the unified ``repro.api`` layer.
+
+Every test in this file runs identically against all three engines
+(``obladi``, ``nopriv``, ``mysql``): same programs in, same result-type
+semantics out.  This is the contract the evaluation harness relies on —
+a Figure-9 row must mean the same thing no matter which engine produced it.
+"""
+
+import random
+
+import pytest
+
+from repro.api import (ENGINE_KINDS, EngineConfig, EngineFeatureUnavailable,
+                       RunStats, TransactionEngine, create_engine)
+from repro.concurrency.serializability import check_serializable
+from repro.core.client import Read, ReadMany, Write
+
+NUM_KEYS = 24
+
+
+def _config() -> EngineConfig:
+    return (EngineConfig()
+            .with_oram(num_blocks=512, z_real=8, block_size=128)
+            .with_batching(read_batches=3, read_batch_size=32, write_batch_size=32)
+            .with_durability(False)
+            .with_encryption(False)
+            .with_seed(3))
+
+
+@pytest.fixture(params=ENGINE_KINDS)
+def engine(request) -> TransactionEngine:
+    eng = create_engine(request.param, _config())
+    eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+    return eng
+
+
+def append_program(key: str, suffix: bytes = b"x"):
+    """Read-modify-write one key; returns the pre-image."""
+
+    def program():
+        value = yield Read(key)
+        yield Write(key, (value or b"") + suffix)
+        return value
+
+    return program
+
+
+def mixed_source(seed: int, hot_keys: int = 6):
+    """Factory source with moderate contention: read two keys, write one."""
+    rng = random.Random(seed)
+
+    def source():
+        a, b = rng.sample(range(hot_keys), 2)
+
+        def factory():
+            def program():
+                values = yield ReadMany([f"k{a}", f"k{b}"])
+                yield Write(f"k{a}", (values[f"k{a}"] or b"") + b"+")
+                return True
+            return program()
+
+        return factory
+
+    return source
+
+
+class TestEngineConstruction:
+    def test_create_engine_returns_named_engine(self, engine, request):
+        assert isinstance(engine, TransactionEngine)
+        assert engine.name == engine.stats().engine
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            create_engine("postgres")
+
+    def test_legacy_aliases_resolve(self):
+        assert create_engine("2pl").name == "mysql"
+        assert create_engine("noprivproxy").name == "nopriv"
+
+    def test_legacy_result_types_are_run_stats(self):
+        from repro.baseline.common import BaselineRunResult
+        from repro.workloads.driver import WorkloadRun
+        assert BaselineRunResult is RunStats
+        assert WorkloadRun is RunStats
+
+
+class TestSubmission:
+    def test_submit_commits_and_returns_value(self, engine):
+        result = engine.submit(append_program("k1"))
+        assert result.committed
+        assert result.return_value == b"0"
+        assert engine.read("k1") == b"0x"
+
+    def test_submit_many_preserves_submission_order(self, engine):
+        def writer(index):
+            def program():
+                yield Write(f"k{index}", str(index).encode())
+                return index
+            return program
+
+        results = engine.submit_many([writer(i) for i in range(8)])
+        assert len(results) == 8
+        assert all(r.committed for r in results)
+        assert [r.return_value for r in results] == list(range(8))
+        for i in range(8):
+            assert engine.read(f"k{i}") == str(i).encode()
+
+    def test_transaction_facade_reads_own_writes(self, engine):
+        with engine.transaction() as txn:
+            before = txn.read("k2")
+            txn.write("k2", b"updated")
+            assert txn.read("k2") == b"updated"   # read-your-own-writes
+        assert before == b"0"
+        assert engine.read("k2") == b"updated"
+
+    def test_transaction_facade_abort_discards(self, engine):
+        txn = engine.transaction()
+        txn.write("k3", b"doomed")
+        txn.abort()
+        assert engine.read("k3") == b"0"
+
+
+class TestClosedLoop:
+    TOTAL = 40
+    CLIENTS = 8
+    MAX_RETRIES = 3
+
+    @pytest.fixture
+    def run(self, engine) -> RunStats:
+        return engine.run_closed_loop(mixed_source(seed=11), self.TOTAL,
+                                      clients=self.CLIENTS,
+                                      max_retries=self.MAX_RETRIES)
+
+    def test_attempt_accounting(self, engine, run):
+        assert isinstance(run, RunStats)
+        assert run.engine == engine.name
+        assert run.committed > 0
+        # Every attempt resolves exactly once, and every retry adds exactly
+        # one attempt, so: attempts = total + retries.
+        assert run.committed + run.aborted == self.TOTAL + run.retries
+        assert len(run.results) == run.committed + run.aborted
+        assert len(run.latencies_ms) == run.committed
+
+    def test_metric_math(self, run):
+        assert run.elapsed_ms > 0
+        assert run.throughput_tps == pytest.approx(
+            run.committed * 1000.0 / run.elapsed_ms)
+        assert run.abort_rate == pytest.approx(
+            run.aborted / (run.committed + run.aborted))
+        assert run.average_latency_ms == pytest.approx(
+            sum(run.latencies_ms) / len(run.latencies_ms))
+        assert run.p50_latency_ms <= run.p95_latency_ms <= run.p99_latency_ms
+        assert min(run.latencies_ms) <= run.p95_latency_ms <= max(run.latencies_ms)
+        assert run.epochs > 0
+
+    def test_committed_history_is_serializable(self, engine, run):
+        assert len(engine.committed_history) == run.committed
+        ok, cycle = check_serializable(engine.committed_history)
+        assert ok, f"{engine.name} produced a non-serializable history: {cycle}"
+
+    def test_effects_match_commit_count(self, engine, run):
+        # Every committed transaction appended exactly one byte to one hot
+        # key, so total appended bytes equal the committed count.
+        total_appends = sum(len(engine.read(f"k{i}")) - 1 for i in range(6))
+        assert total_appends == run.committed
+
+    def test_stats_are_cumulative(self, engine, run):
+        totals = engine.stats()
+        assert totals.engine == engine.name
+        assert totals.committed == run.committed
+        assert totals.aborted == run.aborted
+
+    def test_stats_snapshots_do_not_alias(self, engine):
+        before = engine.stats()
+        committed_before = before.committed
+        engine.submit(append_program("k1"))
+        after = engine.stats()
+        assert before.committed == committed_before
+        assert after.committed == committed_before + 1
+        # Mutating a returned snapshot must not corrupt the engine's books.
+        after.results.clear()
+        after.latencies_ms.append(1e9)
+        assert len(engine.stats().latencies_ms) == committed_before + 1
+
+
+class TestCrashRecovery:
+    def test_capability_flag_gates_crash(self, engine):
+        if engine.supports_crash_recovery:
+            return  # exercised below for the engines that support it
+        with pytest.raises(EngineFeatureUnavailable):
+            engine.crash()
+        with pytest.raises(EngineFeatureUnavailable):
+            engine.recover()
+
+    def test_obladi_crash_recover_round_trip(self):
+        eng = create_engine("obladi", _config().with_durability(True))
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        assert eng.supports_crash_recovery
+        eng.submit(append_program("k1"))
+        eng.crash()
+        eng.recover()
+        assert eng.read("k1") == b"0x"
+
+    def test_recover_preserves_lifetime_stats_and_history(self):
+        eng = create_engine("obladi", _config().with_durability(True))
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        eng.submit(append_program("k1"))
+        pre_crash = eng.stats()
+        assert pre_crash.committed == 1
+        history_before = len(eng.committed_history)
+        eng.crash()
+        eng.recover()
+        eng.submit(append_program("k2"))
+        totals = eng.stats()
+        # A crash loses in-flight state, not the record of durable commits.
+        assert totals.committed == 2
+        assert len(totals.latencies_ms) == 2
+        assert len(eng.committed_history) == history_before + 1
+        ok, cycle = check_serializable(eng.committed_history)
+        assert ok, cycle

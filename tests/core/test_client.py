@@ -62,6 +62,30 @@ class TestTransactionFacade:
         txn, _ = self._make(committed_state={"k": b"v"})
         assert txn.read("k") == b"v"
 
+    def test_read_sees_own_buffered_write(self):
+        txn, _ = self._make(committed_state={"k": b"committed"})
+        txn.write("k", b"buffered")
+        assert txn.read("k") == b"buffered"
+
+    def test_read_sees_latest_buffered_write(self):
+        txn, _ = self._make(committed_state={"k": b"committed"})
+        txn.write("k", b"first")
+        txn.write("k", b"second")
+        assert txn.read("k") == b"second"
+
+    def test_buffered_write_to_other_key_does_not_leak(self):
+        txn, _ = self._make(committed_state={"k": b"v"})
+        txn.write("j", b"other")
+        assert txn.read("k") == b"v"
+
+    def test_commit_still_replays_read_after_own_write(self):
+        txn, submitted = self._make(committed_state={"k": b"v"})
+        txn.write("k", b"new")
+        assert txn.read("k") == b"new"
+        txn.commit()
+        ops = submitted[0]
+        assert ops.index(Write("k", b"new")) < ops.index(Read("k"))
+
     def test_commit_replays_buffered_operations(self):
         txn, submitted = self._make(committed_state={"k": b"v"})
         txn.read("k")

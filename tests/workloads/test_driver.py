@@ -56,7 +56,8 @@ class TestBaselineDriver:
         baseline.load_initial_data(smallbank.initial_data())
         run = run_baseline_closed_loop(baseline, smallbank.transaction_factory,
                                        total_transactions=30, clients=6)
-        assert run.system == "noprivproxy"
+        assert run.system == "nopriv"
+        assert run.engine == "nopriv"
         assert run.committed > 0
         assert run.elapsed_ms > 0
 
@@ -67,12 +68,17 @@ class TestBaselineDriver:
 
 
 class TestWorkloadRunMetrics:
+    def test_workload_run_is_run_stats(self):
+        from repro.api import RunStats
+        assert WorkloadRun is RunStats
+
     def test_zero_division_guards(self):
-        run = WorkloadRun(system="x")
+        run = WorkloadRun(engine="x")
         assert run.throughput_tps == 0.0
         assert run.average_latency_ms == 0.0
         assert run.abort_rate == 0.0
 
     def test_abort_rate(self):
-        run = WorkloadRun(system="x", committed=8, aborted=2)
+        run = WorkloadRun(engine="x", committed=8, aborted=2)
         assert run.abort_rate == pytest.approx(0.2)
+        assert run.system == "x"
