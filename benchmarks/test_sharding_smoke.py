@@ -1,0 +1,64 @@
+"""Sharding smoke: partitioned Obladi vs the single-tree proxy on SmallBank.
+
+The partitioned data layer fans each epoch batch out across N independent
+Ring ORAM trees and charges the *maximum* partition makespan (they run in
+parallel), and each partition's tree is shallower (it holds 1/N of the
+objects).  Both effects shrink the simulated epoch wall-time, so closed-loop
+throughput at the same latency model must not regress — this is the "sharded
+Obladi proxies" scale direction behind the ``DataLayer`` seam.
+"""
+
+from repro.api import EngineConfig, create_engine
+from repro.workloads.smallbank import SmallBankConfig, SmallBankWorkload
+
+from .conftest import run_once
+
+TRANSACTIONS = 96
+CLIENTS = 24
+
+
+def _run(shards: int, num_accounts: int):
+    workload = SmallBankWorkload(SmallBankConfig(num_accounts=num_accounts, seed=17))
+    config = (EngineConfig()
+              .with_workload("smallbank")
+              .with_backend("server")
+              .with_oram(num_blocks=max(4096, 2 * num_accounts), z_real=8,
+                         block_size=192)
+              .with_batching(read_batches=3, read_batch_size=64, write_batch_size=64,
+                             batch_interval_ms=1.0)
+              .with_durability(False)
+              .with_encryption(False)
+              .with_sharding(shards)
+              .with_seed(17))
+    engine = create_engine("obladi", config)
+    engine.load_initial_data(workload.initial_data())
+    stats = engine.run_closed_loop(workload.transaction_factory,
+                                   total_transactions=TRANSACTIONS, clients=CLIENTS)
+    summaries = engine.proxy.epoch_summaries
+    mean_epoch_ms = sum(s.duration_ms for s in summaries) / len(summaries)
+    return stats, mean_epoch_ms
+
+
+def test_sharded_smallbank_throughput_and_epoch_time(benchmark, bench_scale):
+    num_accounts = max(400, int(4000 * bench_scale["workload_scale"]))
+
+    def experiment():
+        return _run(1, num_accounts), _run(4, num_accounts)
+
+    (single, single_epoch_ms), (sharded, sharded_epoch_ms) = run_once(benchmark,
+                                                                     experiment)
+    print()
+    print(f"  shards=1: {single.throughput_tps:9.1f} txn/s, "
+          f"mean epoch {single_epoch_ms:7.2f} ms, committed {single.committed}")
+    print(f"  shards=4: {sharded.throughput_tps:9.1f} txn/s, "
+          f"mean epoch {sharded_epoch_ms:7.2f} ms, committed {sharded.committed}")
+
+    # Sharding the data layer must not lose throughput at the same latency
+    # model, and the simulated epoch wall-time must shrink (partition batches
+    # run in parallel over shallower trees).
+    assert sharded.committed > 0
+    assert sharded.throughput_tps >= single.throughput_tps
+    assert sharded_epoch_ms < single_epoch_ms
+    # The sharded engine reports its per-partition physical work.
+    assert len(sharded.partition_physical) == 4
+    assert sum(r for r, _ in sharded.partition_physical) == sharded.physical_reads

@@ -9,7 +9,9 @@ compared across deliberately different logical workloads.
 
 from repro.analysis.obliviousness import (bucket_access_counts, leaf_access_counts,
                                           chi_square_uniformity, trace_similarity,
-                                          check_bucket_invariant, slot_read_multiset)
+                                          check_bucket_invariant, slot_read_multiset,
+                                          partition_traces, partition_trace_similarity,
+                                          split_partition_key)
 from repro.analysis.metrics import LatencyStats, summarize_latencies, throughput_tps
 
 __all__ = [
@@ -19,6 +21,9 @@ __all__ = [
     "trace_similarity",
     "check_bucket_invariant",
     "slot_read_multiset",
+    "partition_traces",
+    "partition_trace_similarity",
+    "split_partition_key",
     "LatencyStats",
     "summarize_latencies",
     "throughput_tps",

@@ -11,11 +11,19 @@ into the statistics those properties are about:
   of its bucket;
 * the adversary-visible batch shape — must be a function of the
   configuration only.
+
+A *partitioned* proxy (``shards > 1``) runs one Ring ORAM per storage
+namespace (``p<i>/oram/...``); the storage provider sees which partition
+each request targets, so indistinguishability must hold **per partition**.
+:func:`partition_traces` splits a shared trace into per-partition traces
+(prefixes stripped) so every helper in this module applies unchanged to
+each partition's view.
 """
 
 from __future__ import annotations
 
 import math
+import re
 from collections import Counter, defaultdict
 from typing import Dict, List, Optional, Tuple
 
@@ -23,9 +31,25 @@ from repro.oram import path_math
 from repro.storage.backend import StorageOp
 from repro.storage.trace import AccessTrace
 
+#: Storage-namespace prefix of one ORAM partition (see repro.storage.namespace).
+_PARTITION_PREFIX = re.compile(r"^p(\d+)/")
+
+
+def split_partition_key(key: str) -> Tuple[int, str]:
+    """Split a storage key into ``(partition_index, unprefixed_key)``.
+
+    Keys without a partition namespace (a single-tree proxy, or shared
+    durability keys like ``wal/...``) belong to partition 0.
+    """
+    match = _PARTITION_PREFIX.match(key)
+    if match is None:
+        return 0, key
+    return int(match.group(1)), key[match.end():]
+
 
 def _parse_oram_key(key: str) -> Optional[Tuple[int, int, int]]:
-    """Parse ``oram/<bucket>/v<version>/s/<slot>`` keys; None for other keys."""
+    """Parse ``[p<i>/]oram/<bucket>/v<version>/s/<slot>`` keys; None otherwise."""
+    _, key = split_partition_key(key)
     if not key.startswith("oram/"):
         return None
     parts = key.split("/")
@@ -38,6 +62,46 @@ def _parse_oram_key(key: str) -> Optional[Tuple[int, int, int]]:
     except ValueError:
         return None
     return bucket, version, slot
+
+
+def partition_traces(trace: AccessTrace) -> Dict[int, AccessTrace]:
+    """Split a shared storage trace into one trace per ORAM partition.
+
+    Events are grouped by their ``p<i>/`` storage namespace (no namespace →
+    partition 0) with the prefix stripped, so each returned trace looks
+    exactly like a single-tree proxy's trace and every helper in this module
+    applies to it directly.  Batch boundaries are not partition-attributable
+    (they interleave on the shared server) and are not carried over; compare
+    per-partition request sequences instead.
+    """
+    per_partition: Dict[int, AccessTrace] = {}
+    for event in trace.events:
+        index, stripped = split_partition_key(event.key)
+        sub = per_partition.get(index)
+        if sub is None:
+            sub = per_partition[index] = AccessTrace()
+        sub.record(event.op, stripped, event.size_bytes, event.time_ms, event.batch_id)
+    return per_partition
+
+
+def partition_trace_similarity(trace_a: AccessTrace, trace_b: AccessTrace,
+                               depth: int) -> Dict[int, float]:
+    """Per-partition total-variation distance between two traces.
+
+    Workload independence of a partitioned proxy predicts every partition's
+    distance stays small — the storage provider can watch each namespace
+    separately, so no single partition may leak.  Partitions present in only
+    one trace score the maximal distance 1.0.
+    """
+    split_a = partition_traces(trace_a)
+    split_b = partition_traces(trace_b)
+    distances: Dict[int, float] = {}
+    for index in sorted(set(split_a) | set(split_b)):
+        if index not in split_a or index not in split_b:
+            distances[index] = 1.0
+            continue
+        distances[index] = trace_similarity(split_a[index], split_b[index], depth)
+    return distances
 
 
 def bucket_access_counts(trace: AccessTrace, op: Optional[StorageOp] = StorageOp.READ
@@ -132,12 +196,21 @@ def check_bucket_invariant(trace: AccessTrace) -> List[Tuple[int, int, int]]:
     invariant held for the whole trace.  (A slot may legitimately be read
     again after its bucket is rewritten, but rewrites bump the version in the
     key, so a repeat of the *same* (bucket, version, slot) triple is always a
-    violation.)
+    violation.)  Partitions are independent trees: the same triple in two
+    different storage namespaces is not a collision.  Violations are
+    reported as deduplicated ``(bucket, version, slot)`` triples; to
+    attribute a violation to a partition, split the trace with
+    :func:`partition_traces` and check each partition's view.
     """
-    violations = []
-    for location, count in slot_read_multiset(trace).items():
-        if count > 1:
-            violations.append(location)
+    counts: Dict[Tuple[int, int, int, int], int] = defaultdict(int)
+    for event in trace.events:
+        if event.op != StorageOp.READ:
+            continue
+        partition, _ = split_partition_key(event.key)
+        parsed = _parse_oram_key(event.key)
+        if parsed is not None:
+            counts[(partition,) + parsed] += 1
+    violations = {location[1:] for location, count in counts.items() if count > 1}
     return sorted(violations)
 
 

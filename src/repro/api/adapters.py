@@ -84,7 +84,22 @@ class ObladiEngine(TransactionEngine):
             latencies_ms=(list(retired.latencies_ms)
                           + [r.latency_ms for r in results if r.committed]),
             results=list(retired.results) + results,
+            partition_physical=self._partition_physical(),
         )
+
+    def _partition_physical(self) -> List[Tuple[int, int]]:
+        """Lifetime per-partition I/O: current proxy plus retired proxies."""
+        current = self.proxy.data_layer.per_partition_physical()
+        retired = self._retired.partition_physical
+        merged = []
+        for index in range(max(len(current), len(retired))):
+            reads = writes = 0
+            if index < len(current):
+                reads, writes = current[index]
+            if index < len(retired):
+                reads, writes = reads + retired[index][0], writes + retired[index][1]
+            merged.append((reads, writes))
+        return merged
 
     @property
     def clock(self):
@@ -100,9 +115,12 @@ class ObladiEngine(TransactionEngine):
         return self.proxy.storage
 
     def io_counters(self) -> Tuple[int, int]:
-        lifetime = self.proxy.executor.lifetime_stats
-        return (self._retired.physical_reads + lifetime.physical_reads,
-                self._retired.physical_writes + lifetime.physical_writes)
+        reads, writes = self.proxy.data_layer.lifetime_physical()
+        return (self._retired.physical_reads + reads,
+                self._retired.physical_writes + writes)
+
+    def partition_io_counters(self) -> List[Tuple[int, int]]:
+        return self._partition_physical()
 
     # -- fault injection ------------------------------------------------ #
     def crash(self) -> None:
@@ -124,10 +142,17 @@ class ObladiEngine(TransactionEngine):
         self._retired.latencies_ms.extend(
             r.latency_ms for r in old_results if r.committed)
         self._retired.results.extend(old_results)
-        old_reads = old.executor.lifetime_stats.physical_reads
-        old_writes = old.executor.lifetime_stats.physical_writes
+        old_reads, old_writes = old.data_layer.lifetime_physical()
         self._retired.physical_reads += old_reads
         self._retired.physical_writes += old_writes
+        old_partitions = old.data_layer.per_partition_physical()
+        retired_partitions = self._retired.partition_physical
+        for index, (reads, writes) in enumerate(old_partitions):
+            if index < len(retired_partitions):
+                prev_reads, prev_writes = retired_partitions[index]
+                retired_partitions[index] = (prev_reads + reads, prev_writes + writes)
+            else:
+                retired_partitions.append((reads, writes))
         self._retired_history.extend(old.committed_history)
 
         recovered, report = recover_proxy(old.storage, old.config,

@@ -130,6 +130,15 @@ class TransactionEngine(abc.ABC):
         """Cumulative ``(physical_reads, physical_writes)`` issued to storage."""
         return (0, 0)
 
+    def partition_io_counters(self) -> List[Tuple[int, int]]:
+        """Cumulative per-ORAM-partition ``(reads, writes)``, where sharded.
+
+        Engines without a partitioned data layer return an empty list (or a
+        single entry for one tree); the totals in :meth:`io_counters` are
+        always the sums of whatever this reports.
+        """
+        return []
+
     def cpu_ms(self) -> float:
         """Cumulative simulated proxy CPU, where the engine models it."""
         return 0.0

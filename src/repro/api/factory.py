@@ -66,6 +66,11 @@ class EngineConfig:
     write_batch_size: Optional[int] = None
     batch_interval_ms: Optional[float] = None
 
+    # Sharding (Obladi only): number of parallel Ring ORAM partitions the
+    # keyspace is hashed across, and the hash perturbation seed.
+    shards: Optional[int] = None
+    partition_seed: Optional[int] = None
+
     # Durability / security toggles (Obladi only).
     durability: Optional[bool] = None
     encrypt: Optional[bool] = None
@@ -116,6 +121,20 @@ class EngineConfig:
             ("batch_interval_ms", batch_interval_ms)) if value is not None}
         return replace(self, **updates)
 
+    def with_sharding(self, shards: int,
+                      partition_seed: Optional[int] = None) -> "EngineConfig":
+        """Partition the keyspace across ``shards`` parallel ORAM trees.
+
+        ``shards=1`` is the paper's single-tree proxy.  Each partition gets
+        its own position map, stash, metadata, storage namespace and share
+        of every epoch batch; epoch batch time is the maximum over
+        partitions (they run in parallel).
+        """
+        config = replace(self, shards=shards)
+        if partition_seed is not None:
+            config = replace(config, partition_seed=partition_seed)
+        return config
+
     def with_durability(self, enabled: bool = True,
                         checkpoint_frequency: Optional[int] = None) -> "EngineConfig":
         config = replace(self, durability=enabled)
@@ -146,7 +165,7 @@ class EngineConfig:
         overrides = {}
         for field_name in ("read_batches", "read_batch_size", "write_batch_size",
                            "batch_interval_ms", "durability", "encrypt",
-                           "checkpoint_frequency"):
+                           "checkpoint_frequency", "shards", "partition_seed"):
             value = getattr(self, field_name)
             if value is not None:
                 overrides[field_name] = value

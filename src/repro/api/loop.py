@@ -68,6 +68,7 @@ def run_closed_loop(engine: TransactionEngine, factory_source: FactorySource,
     stats = RunStats(engine=engine.name)
     start_ms = engine.clock.now_ms
     reads_before, writes_before = engine.io_counters()
+    partitions_before = engine.partition_io_counters()
     cpu_before = engine.cpu_ms()
 
     remaining = total_transactions
@@ -104,5 +105,9 @@ def run_closed_loop(engine: TransactionEngine, factory_source: FactorySource,
     reads_after, writes_after = engine.io_counters()
     stats.physical_reads = reads_after - reads_before
     stats.physical_writes = writes_after - writes_before
+    stats.partition_physical = [
+        (reads - (partitions_before[i][0] if i < len(partitions_before) else 0),
+         writes - (partitions_before[i][1] if i < len(partitions_before) else 0))
+        for i, (reads, writes) in enumerate(engine.partition_io_counters())]
     stats.cpu_ms = engine.cpu_ms() - cpu_before
     return stats

@@ -16,7 +16,7 @@ provided as read/write properties.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Tuple
 
 from repro.core.client import TransactionResult
 
@@ -49,6 +49,10 @@ class RunStats:
     physical_reads / physical_writes:
         Physical storage requests issued during the run (ORAM bucket I/O for
         Obladi, raw key I/O for the baselines).
+    partition_physical:
+        Per-ORAM-partition ``(physical_reads, physical_writes)`` breakdown
+        for partitioned Obladi engines (one entry per shard; the totals
+        above are its sums).  Empty for baselines and legacy consumers.
     latencies_ms:
         Per-committed-transaction latency samples.  Latency is measured over
         the *committing attempt* (submission of that attempt to its commit),
@@ -74,6 +78,7 @@ class RunStats:
     physical_writes: int = 0
     latencies_ms: List[float] = field(default_factory=list)
     results: List[TransactionResult] = field(default_factory=list)
+    partition_physical: List[Tuple[int, int]] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     # Derived metrics

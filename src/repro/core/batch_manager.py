@@ -12,12 +12,19 @@ The batch manager enforces the epoch's fixed structure (paper §6.2):
   requesting transaction aborts;
 * leftover slots are padded with dummy requests before dispatch;
 * the single write batch holds at most ``b_write`` distinct keys.
+
+With a partitioned data layer (``shards > 1``) the fixed structure holds
+*per partition*: each read batch carries a quota of ``ceil(b_read/shards)``
+slots per partition and the write batch a quota of ``ceil(b_write/shards)``
+per partition, because each partition executes (and pads) its share of the
+batch independently.  A key whose partition quota is exhausted spills to
+the next batch exactly like a full batch does today.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.errors import BatchFullError
 
@@ -28,25 +35,33 @@ class ReadBatch:
 
     index: int
     capacity: int
+    partition_quota: Optional[int] = None
     keys: List[str] = field(default_factory=list)
     _keyset: Set[str] = field(default_factory=set)
+    _partition_counts: Dict[int, int] = field(default_factory=dict)
     dispatched: bool = False
 
-    def has_room(self) -> bool:
-        return len(self.keys) < self.capacity
+    def has_room(self, partition: Optional[int] = None) -> bool:
+        if len(self.keys) >= self.capacity:
+            return False
+        if partition is not None and self.partition_quota is not None:
+            return self._partition_counts.get(partition, 0) < self.partition_quota
+        return True
 
     def contains(self, key: str) -> bool:
         return key in self._keyset
 
-    def add(self, key: str) -> None:
+    def add(self, key: str, partition: Optional[int] = None) -> None:
         if self.dispatched:
             raise ValueError(f"read batch {self.index} already dispatched")
         if key in self._keyset:
             return
-        if not self.has_room():
+        if not self.has_room(partition):
             raise BatchFullError("read", self.capacity)
         self.keys.append(key)
         self._keyset.add(key)
+        if partition is not None:
+            self._partition_counts[partition] = self._partition_counts.get(partition, 0) + 1
 
     @property
     def padding(self) -> int:
@@ -55,14 +70,28 @@ class ReadBatch:
 
 
 class BatchManager:
-    """Assembles the epoch's R read batches and its write batch."""
+    """Assembles the epoch's R read batches and its write batch.
 
-    def __init__(self, read_batches: int, read_batch_size: int, write_batch_size: int) -> None:
+    ``partitioner`` (optional) maps an application key to its partition
+    index; with it set, each batch additionally enforces the per-partition
+    read quota and the write batch the per-partition write quota, matching
+    the padded per-partition batches the partitioned data layer executes.
+    """
+
+    def __init__(self, read_batches: int, read_batch_size: int, write_batch_size: int,
+                 partitioner: Optional[Callable[[str], int]] = None,
+                 read_partition_quota: Optional[int] = None,
+                 write_partition_quota: Optional[int] = None) -> None:
         if read_batches < 1:
             raise ValueError("need at least one read batch per epoch")
+        if partitioner is not None and read_partition_quota is None:
+            raise ValueError("a partitioned batch manager needs a read quota")
         self.read_batches_per_epoch = read_batches
         self.read_batch_size = read_batch_size
         self.write_batch_size = write_batch_size
+        self.partitioner = partitioner
+        self.read_partition_quota = read_partition_quota
+        self.write_partition_quota = write_partition_quota
         self.reset_epoch()
 
     # ------------------------------------------------------------------ #
@@ -70,7 +99,9 @@ class BatchManager:
     # ------------------------------------------------------------------ #
     def reset_epoch(self) -> None:
         self._batches: List[ReadBatch] = [
-            ReadBatch(index=i, capacity=self.read_batch_size)
+            ReadBatch(index=i, capacity=self.read_batch_size,
+                      partition_quota=self.read_partition_quota
+                      if self.partitioner is not None else None)
             for i in range(self.read_batches_per_epoch)
         ]
         self._next_batch = 0
@@ -95,6 +126,7 @@ class BatchManager:
         Raises :class:`BatchFullError` when every remaining batch of the
         epoch is full — the paper aborts the transaction in that case.
         """
+        partition = self.partitioner(key) if self.partitioner is not None else None
         for idx in range(self._next_batch, self.read_batches_per_epoch):
             batch = self._batches[idx]
             if batch.dispatched:
@@ -102,8 +134,8 @@ class BatchManager:
             if batch.contains(key):
                 self.stats_deduplicated += 1
                 return idx
-            if batch.has_room():
-                batch.add(key)
+            if batch.has_room(partition):
+                batch.add(key, partition)
                 self.stats_scheduled += 1
                 return idx
         raise BatchFullError("read", self.read_batch_size)
@@ -138,6 +170,13 @@ class BatchManager:
         """
         if len(write_back) > self.write_batch_size:
             raise BatchFullError("write", self.write_batch_size)
+        if self.partitioner is not None and self.write_partition_quota is not None:
+            per_partition: Dict[int, int] = {}
+            for key in write_back:
+                partition = self.partitioner(key)
+                per_partition[partition] = per_partition.get(partition, 0) + 1
+                if per_partition[partition] > self.write_partition_quota:
+                    raise BatchFullError("write", self.write_partition_quota)
         return {key: (value if value is not None else b"")
                 for key, value in sorted(write_back.items())}
 

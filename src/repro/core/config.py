@@ -22,10 +22,12 @@ read-mostly applications: small ``b_write``).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.oram.parameters import RingOramParameters, derive_parameters
+from repro.oram.parameters import (RingOramParameters, derive_parameters,
+                                   partition_block_count)
 from repro.sim.latency import CpuCostModel
 
 
@@ -50,6 +52,10 @@ class RingOramConfig:
             max_stash_blocks=self.max_stash_blocks,
         )
 
+    def for_partition(self, shards: int) -> "RingOramConfig":
+        """Sizing for one of ``shards`` partitions covering the same keyspace."""
+        return replace(self, num_blocks=partition_block_count(self.num_blocks, shards))
+
 
 @dataclass(frozen=True)
 class ObladiConfig:
@@ -66,6 +72,13 @@ class ObladiConfig:
     # Storage / network.
     backend: str = "server"          # latency model name or LatencyModel
     parallelism: int = 1024          # max in-flight physical requests at the proxy
+
+    # Sharding: number of independent Ring ORAM partitions the keyspace is
+    # hashed across (1 = the paper's single-tree proxy).  ``partition_seed``
+    # perturbs the key-to-partition hash so different deployments of the same
+    # dataset shard differently.
+    shards: int = 1
+    partition_seed: int = 0
 
     # Security toggles (used by ablation benchmarks).
     encrypt: bool = True
@@ -92,6 +105,8 @@ class ObladiConfig:
             raise ValueError("parallelism must be at least 1")
         if self.checkpoint_frequency < 1:
             raise ValueError("checkpoint frequency must be at least 1")
+        if self.shards < 1:
+            raise ValueError("need at least one ORAM partition")
 
     # ------------------------------------------------------------------ #
     # Derived quantities
@@ -115,15 +130,44 @@ class ObladiConfig:
         """
         return self.epoch_read_capacity + self.write_batch_size
 
+    # ------------------------------------------------------------------ #
+    # Sharding-derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def partition_read_batch_size(self) -> int:
+        """Per-partition read-batch quota (``ceil(b_read / shards)``).
+
+        Every partition executes a padded batch of exactly this many slots
+        per round, so the per-partition adversary view stays workload
+        independent.
+        """
+        return math.ceil(self.read_batch_size / self.shards)
+
+    @property
+    def partition_write_batch_size(self) -> int:
+        """Per-partition write-batch quota (``ceil(b_write / shards)``)."""
+        return math.ceil(self.write_batch_size / self.shards)
+
+    @property
+    def partition_position_delta_pad_entries(self) -> int:
+        """Per-partition padding bound for position-map delta checkpoints.
+
+        A partition's position map changes at most its share of the epoch's
+        read slots plus its share of the write batch.
+        """
+        return (self.read_batches * self.partition_read_batch_size
+                + self.partition_write_batch_size)
+
     def with_backend(self, backend: str) -> "ObladiConfig":
         """Copy of this configuration targeting a different storage backend."""
         return replace(self, backend=backend)
 
     def describe(self) -> str:
+        sharding = f"shards={self.shards}, " if self.shards > 1 else ""
         return (
             f"ObladiConfig(R={self.read_batches}, b_read={self.read_batch_size}, "
             f"b_write={self.write_batch_size}, Δ={self.batch_interval_ms}ms, "
-            f"backend={self.backend}, {self.oram.to_parameters().describe()})"
+            f"{sharding}backend={self.backend}, {self.oram.to_parameters().describe()})"
         )
 
     # ------------------------------------------------------------------ #

@@ -70,7 +70,13 @@ class EpochState:
 
 @dataclass
 class EpochSummary:
-    """Immutable digest of a finished epoch, kept for metrics."""
+    """Immutable digest of a finished epoch, kept for metrics.
+
+    ``physical_reads``/``physical_writes`` are the epoch's totals across the
+    whole data layer; ``partition_physical`` breaks them down as one
+    ``(reads, writes)`` pair per ORAM partition (a single-tree proxy reports
+    one pair, so the totals always equal the sum of the breakdown).
+    """
 
     epoch_id: int
     phase: EpochPhase
@@ -79,10 +85,12 @@ class EpochSummary:
     aborted: int
     physical_reads: int
     physical_writes: int
+    partition_physical: tuple = ()
 
     @classmethod
     def from_state(cls, state: EpochState, physical_reads: int,
-                   physical_writes: int) -> "EpochSummary":
+                   physical_writes: int,
+                   partition_physical: tuple = ()) -> "EpochSummary":
         return cls(
             epoch_id=state.epoch_id,
             phase=state.phase,
@@ -91,4 +99,5 @@ class EpochSummary:
             aborted=state.aborted_count(),
             physical_reads=physical_reads,
             physical_writes=physical_writes,
+            partition_physical=tuple(partition_physical),
         )

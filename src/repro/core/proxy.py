@@ -27,13 +27,8 @@ from repro.core.batch_manager import BatchManager
 from repro.core.client import (AbortRequest, Read, ReadMany, Transaction, TransactionAborted,
                                TransactionProgram, TransactionResult, Write)
 from repro.core.config import ObladiConfig
-from repro.core.data_handler import DataHandler, KeyDirectory
 from repro.core.epoch import EpochPhase, EpochState, EpochSummary
 from repro.core.errors import BatchFullError, ProxyCrashedError
-from repro.core.version_cache import VersionCache
-from repro.oram.batch_executor import EpochBatchExecutor
-from repro.oram.crypto import CipherSuite
-from repro.oram.ring_oram import RingOram
 from repro.sim.clock import SimClock
 from repro.storage.memory import InMemoryStorageServer
 
@@ -80,25 +75,33 @@ class ObladiProxy:
         # The master key is the one secret that persists across proxy crashes;
         # every other key (ORAM blocks, WAL, checkpoints) is derived from it.
         import os as _os
-        from repro.recovery.manager import derive_key
         self.master_key = master_key if master_key is not None else _os.urandom(32)
 
-        params = self.config.oram.to_parameters()
-        self.cipher = CipherSuite(key=derive_key(self.master_key, "oram-block"),
-                                  block_size=params.block_size + 8,
-                                  enabled=self.config.encrypt)
-        self.oram = RingOram(params, self.storage, cipher=self.cipher, clock=self.clock,
-                             cost_model=self.config.cost_model, seed=self.config.seed,
-                             dummiless_writes=self.config.dummiless_writes)
-        self.executor = EpochBatchExecutor(self.oram, latency=self.config.backend,
-                                           parallelism=self.config.parallelism,
-                                           cost_model=self.config.cost_model,
-                                           buffer_writes=self.config.buffer_writes)
-        self.data_handler = DataHandler(self.oram, self.executor)
+        # The data path lives behind the DataLayer seam: one Ring ORAM tree,
+        # or — with ``config.shards > 1`` — N hash-partitioned parallel trees.
+        from repro.sharding import build_data_layer
+        self.data_layer = build_data_layer(self.config, storage=self.storage,
+                                           clock=self.clock, master_key=self.master_key)
+        # Single-partition views kept for compatibility: most introspection
+        # (tests, harness, sequential baselines) reads partition 0 directly.
+        part0 = self.data_layer.partitions[0]
+        self.oram = part0.oram
+        self.executor = part0.executor
+        self.data_handler = part0.handler
+        self.cipher = part0.oram.cipher
+
         self.mvtso = MVTSOManager()
-        self.batch_manager = BatchManager(self.config.read_batches,
-                                          self.config.read_batch_size,
-                                          self.config.write_batch_size)
+        if self.config.shards > 1:
+            self.batch_manager = BatchManager(
+                self.config.read_batches, self.config.read_batch_size,
+                self.config.write_batch_size,
+                partitioner=self.data_layer.partition_of,
+                read_partition_quota=self.config.partition_read_batch_size,
+                write_partition_quota=self.config.partition_write_batch_size)
+        else:
+            self.batch_manager = BatchManager(self.config.read_batches,
+                                              self.config.read_batch_size,
+                                              self.config.write_batch_size)
 
         self.recovery = recovery_manager
         if self.recovery is None and self.config.durability:
@@ -167,14 +170,12 @@ class ObladiProxy:
     def load_initial_data(self, items: Dict[str, bytes]) -> None:
         """Bulk-load a dataset before serving transactions.
 
-        Values are placed directly into the ORAM tree (see
-        :meth:`repro.oram.ring_oram.RingOram.bulk_load`) and the key
-        directory learns their block ids.
+        Values are placed directly into the ORAM tree(s) (see
+        :meth:`repro.oram.ring_oram.RingOram.bulk_load`) and each
+        partition's key directory learns its block ids.
         """
         self._check_alive()
-        blocks = {self.data_handler.directory.block_id(key): value
-                  for key, value in items.items()}
-        self.oram.bulk_load(blocks)
+        self.data_layer.bulk_load(items)
         if self.recovery is not None:
             self._checkpoint(full=True)
 
@@ -195,10 +196,9 @@ class ObladiProxy:
         self._epoch_counter += 1
         state = EpochState(epoch_id=epoch_id, start_ms=self.clock.now_ms)
 
-        self.data_handler.begin_epoch()
+        self.data_layer.begin_epoch()
         self.batch_manager.reset_epoch()
-        reads_before = self.executor.lifetime_stats.physical_reads
-        writes_before = self.executor.lifetime_stats.physical_writes
+        physical_before = self.data_layer.per_partition_physical()
 
         # Admission: transactions waiting in the queue join this epoch.
         admitted: List[_ActiveTransaction] = []
@@ -222,7 +222,7 @@ class ObladiProxy:
             if self.recovery is not None:
                 self.recovery.log_read_batch(epoch_id, batch.index, batch.keys,
                                              self.config.read_batch_size)
-            self.data_handler.execute_read_batch(batch.keys, self.config.read_batch_size)
+            self.data_layer.execute_read_batch(batch.keys, self.config.read_batch_size)
             state.record_read_batch(batch.keys)
             self._deliver_values(admitted)
             # Batches are dispatched at fixed intervals; if the batch finished
@@ -236,9 +236,14 @@ class ObladiProxy:
 
         self._finalize_epoch(admitted, state)
 
-        physical_reads = self.executor.lifetime_stats.physical_reads - reads_before
-        physical_writes = self.executor.lifetime_stats.physical_writes - writes_before
-        summary = EpochSummary.from_state(state, physical_reads, physical_writes)
+        physical_after = self.data_layer.per_partition_physical()
+        partition_physical = tuple((after_r - before_r, after_w - before_w)
+                                   for (before_r, before_w), (after_r, after_w)
+                                   in zip(physical_before, physical_after))
+        physical_reads = sum(reads for reads, _ in partition_physical)
+        physical_writes = sum(writes for _, writes in partition_physical)
+        summary = EpochSummary.from_state(state, physical_reads, physical_writes,
+                                          partition_physical=partition_physical)
         self.epoch_summaries.append(summary)
         return summary
 
@@ -359,19 +364,19 @@ class ObladiProxy:
         Returns ``(served, value)``.  When ``served`` is False the read needs
         an ORAM batch slot.
         """
-        cache = self.data_handler.cache
+        cache = self.data_layer.cache
         chain = cache.store.get_chain(key)
         has_epoch_version = chain is not None and chain.latest_visible(
             active.record.timestamp) is not None
         if has_epoch_version:
             value, _writer = self.mvtso.read(active.record, key)
             return True, value
-        if self.data_handler.has_cached(key):
+        if self.data_layer.has_cached(key):
             self.mvtso.read(active.record, key)          # records marker, finds nothing
             self._record_base_read(active, key)
             return True, cache.base_value(key)
-        if self.config.cache_stash_reads and self.data_handler.stash_resident(key):
-            value = self.data_handler.stash_value(key)
+        if self.config.cache_stash_reads and self.data_layer.stash_resident(key):
+            value = self.data_layer.stash_value(key)
             cache.install_base(key, value)
             self.mvtso.read(active.record, key)
             self._record_base_read(active, key)
@@ -385,9 +390,9 @@ class ObladiProxy:
                 continue
 
             def _available(key: str) -> bool:
-                if self.data_handler.has_cached(key):
+                if self.data_layer.has_cached(key):
                     return True
-                chain = self.data_handler.cache.store.get_chain(key)
+                chain = self.data_layer.cache.store.get_chain(key)
                 return (chain is not None
                         and chain.latest_visible(active.record.timestamp) is not None)
 
@@ -397,7 +402,7 @@ class ObladiProxy:
             for key in active.waiting_keys:
                 value, _writer = self.mvtso.read(active.record, key)
                 if value is None:
-                    value = self.data_handler.cached_value(key)
+                    value = self.data_layer.cached_value(key)
                     self._record_base_read(active, key)
                 values[key] = value
             if active.waiting_multi:
@@ -478,9 +483,9 @@ class ObladiProxy:
                 if key in batch_items:
                     self._last_writer_ts[key] = record.timestamp
 
-        self.data_handler.execute_write_batch(batch_items, self.config.write_batch_size)
+        self.data_layer.execute_write_batch(batch_items, self.config.write_batch_size)
         state.write_batch_keys = sorted(batch_items)
-        self.data_handler.flush()
+        self.data_layer.flush()
 
         # Durability: the epoch is committed only once its metadata is logged.
         if self.recovery is not None:
@@ -537,23 +542,17 @@ class ObladiProxy:
     # Durability / crash handling
     # ------------------------------------------------------------------ #
     def _checkpoint(self, full: bool) -> None:
-        directory = self.data_handler.directory
-        extra = {"key_directory": directory.serialize() if full
-                 else directory.serialize_delta()}
-        self.recovery.checkpoint_epoch(
+        self.recovery.checkpoint_data_layer(
             epoch_id=self._epoch_counter - 1,
-            oram=self.oram,
-            pad_position_entries=self.config.position_delta_pad_entries,
-            extra_state=extra,
+            data_layer=self.data_layer,
             full=full,
         )
-        directory.clear_dirty()
 
     def crash(self) -> None:
         """Simulate a proxy crash: all volatile state is lost."""
         self._crashed = True
         self._queue.clear()
-        self.data_handler.abort_epoch()
+        self.data_layer.abort_epoch()
 
     @property
     def crashed(self) -> bool:

@@ -106,6 +106,23 @@ class RingOramParameters:
         )
 
 
+def partition_block_count(num_blocks: int, shards: int) -> int:
+    """Blocks each of ``shards`` partitions must be able to hold.
+
+    A partitioned data layer hashes the keyspace across independent ORAM
+    trees; each tree is provisioned for its share of the objects (rounded
+    up, so the union of the partitions always covers the full keyspace even
+    under worst-case hash skew of one extra object per partition).  Smaller
+    per-partition trees are shallower, which is where part of the sharded
+    speedup comes from: each path read touches fewer buckets.
+    """
+    if num_blocks < 1:
+        raise ValueError("num_blocks must be positive")
+    if shards < 1:
+        raise ValueError("need at least one partition")
+    return max(1, math.ceil(num_blocks / shards))
+
+
 def depth_for_blocks(num_blocks: int, z_real: int) -> int:
     """Smallest depth such that ``Z * 2**depth >= num_blocks``."""
     if num_blocks < 1:

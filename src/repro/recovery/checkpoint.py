@@ -25,13 +25,20 @@ from repro.storage.backend import StorageServer
 
 @dataclass
 class CheckpointManifest:
-    """Index of the checkpoint chain, stored in the clear (structure only)."""
+    """Index of the checkpoint chain, stored in the clear (structure only).
+
+    ``access_count``/``eviction_count`` are partition 0's counters (the only
+    partition of a single-tree proxy); a partitioned data layer additionally
+    records every partition's ``[access_count, eviction_count]`` pair in
+    ``partition_counters`` keyed by partition index.
+    """
 
     last_epoch: int = -1
     last_full_epoch: int = -1
     delta_epochs: List[int] = field(default_factory=list)
     access_count: int = 0
     eviction_count: int = 0
+    partition_counters: Dict[str, List[int]] = field(default_factory=dict)
 
     def serialize(self) -> bytes:
         return json.dumps({
@@ -40,6 +47,7 @@ class CheckpointManifest:
             "delta_epochs": self.delta_epochs,
             "access_count": self.access_count,
             "eviction_count": self.eviction_count,
+            "partition_counters": self.partition_counters,
         }, sort_keys=True).encode("utf-8")
 
     @classmethod
@@ -51,6 +59,8 @@ class CheckpointManifest:
             delta_epochs=list(payload["delta_epochs"]),
             access_count=payload["access_count"],
             eviction_count=payload["eviction_count"],
+            partition_counters={str(k): [int(a), int(e)] for k, (a, e) in
+                                payload.get("partition_counters", {}).items()},
         )
 
 
@@ -126,23 +136,27 @@ class CheckpointStore:
     # ------------------------------------------------------------------ #
     def write_checkpoint(self, epoch_id: int, components: Dict[str, bytes],
                          plain_components: Dict[str, bytes], full: bool,
-                         access_count: int, eviction_count: int) -> CheckpointSizes:
+                         access_count: int, eviction_count: int,
+                         partition_counters: Optional[Dict[str, List[int]]] = None
+                         ) -> CheckpointSizes:
         """Write one epoch's checkpoint; returns the component sizes.
 
         ``components`` are encrypted before storage; ``plain_components``
-        (the valid/invalid map) are stored as-is.
+        (the valid/invalid map) are stored as-is.  Component names may carry
+        a partition namespace prefix (``p<i>/position``); sizes are
+        classified by the unprefixed suffix and summed across partitions.
         """
         items: Dict[str, bytes] = {}
         sizes = CheckpointSizes()
         for name, payload in components.items():
             sealed = self._seal(payload)
             items[_component_key(epoch_id, name, full)] = sealed
-            if name == "position":
-                sizes.position_bytes = len(sealed)
-            elif name == "metadata":
-                sizes.metadata_bytes = len(sealed)
-            elif name == "stash":
-                sizes.stash_bytes = len(sealed)
+            if name.endswith("position"):
+                sizes.position_bytes += len(sealed)
+            elif name.endswith("metadata"):
+                sizes.metadata_bytes += len(sealed)
+            elif name.endswith("stash"):
+                sizes.stash_bytes += len(sealed)
             else:
                 sizes.extra_bytes += len(sealed)
         for name, payload in plain_components.items():
@@ -159,6 +173,7 @@ class CheckpointStore:
         self.manifest.last_epoch = epoch_id
         self.manifest.access_count = access_count
         self.manifest.eviction_count = eviction_count
+        self.manifest.partition_counters = dict(partition_counters or {})
         self._store_manifest()
         return sizes
 

@@ -43,9 +43,9 @@ class CrashInjector:
     _original_checkpoint: Optional[Callable] = None
 
     def arm(self) -> None:
-        """Install the wrappers."""
-        handler = self.proxy.data_handler
-        self._original_read = handler.execute_read_batch
+        """Install the wrappers (on the proxy's data layer, single or sharded)."""
+        layer = self.proxy.data_layer
+        self._original_read = layer.execute_read_batch
 
         def wrapped_read(keys, batch_size):
             if self.point is CrashPoint.BEFORE_READ_BATCH:
@@ -56,23 +56,23 @@ class CrashInjector:
                 self._maybe_crash(post=True)
             return result
 
-        handler.execute_read_batch = wrapped_read
+        layer.execute_read_batch = wrapped_read
 
         if self.point is CrashPoint.BEFORE_CHECKPOINT and self.proxy.recovery is not None:
-            self._original_checkpoint = self.proxy.recovery.checkpoint_epoch
+            self._original_checkpoint = self.proxy.recovery.checkpoint_data_layer
 
             def wrapped_checkpoint(*args, **kwargs):
                 self._crash()
                 return None
 
-            self.proxy.recovery.checkpoint_epoch = wrapped_checkpoint
+            self.proxy.recovery.checkpoint_data_layer = wrapped_checkpoint
 
     def disarm(self) -> None:
         """Remove the wrappers (used after recovery to reuse helper objects)."""
         if self._original_read is not None:
-            self.proxy.data_handler.execute_read_batch = self._original_read
+            self.proxy.data_layer.execute_read_batch = self._original_read
         if self._original_checkpoint is not None and self.proxy.recovery is not None:
-            self.proxy.recovery.checkpoint_epoch = self._original_checkpoint
+            self.proxy.recovery.checkpoint_data_layer = self._original_checkpoint
 
     # ------------------------------------------------------------------ #
     def _maybe_crash(self, post: bool = False) -> None:

@@ -111,9 +111,9 @@ class RecoveryManager:
         self.stats_wal_bytes += size
         self._charge(size, requests=1)
 
-    def checkpoint_epoch(self, epoch_id: int, oram, pad_position_entries: int,
-                         extra_state: Dict[str, bytes], full: bool) -> CheckpointSizes:
-        """Checkpoint the proxy metadata at an epoch boundary."""
+    @staticmethod
+    def _oram_components(oram, pad_position_entries: int, full: bool):
+        """Serialise one ORAM's metadata; returns (encrypted, plain) blobs."""
         params = oram.params
         stash_pad = max(params.stash_bound, len(oram.stash))
         if full:
@@ -125,20 +125,71 @@ class RecoveryManager:
                 pad_to_entries=max(pad_position_entries, len(oram.position_map.dirty_entries())))
             metadata_blob = oram.metadata.serialize_delta()
             valid_blob = oram.metadata.serialize_valid_map(oram.metadata.dirty_buckets())
-
-        components = dict(extra_state)
-        components.update({
+        encrypted = {
             "position": position_blob,
             "metadata": metadata_blob,
             "stash": oram.stash.serialize(stash_pad, params.block_size),
-        })
-        plain = {"valid_map": valid_blob}
+        }
+        return encrypted, {"valid_map": valid_blob}
+
+    def checkpoint_epoch(self, epoch_id: int, oram, pad_position_entries: int,
+                         extra_state: Dict[str, bytes], full: bool) -> CheckpointSizes:
+        """Checkpoint one ORAM's proxy metadata at an epoch boundary.
+
+        Retained for single-tree callers; the proxy itself checkpoints its
+        whole data layer through :meth:`checkpoint_data_layer`.
+        """
+        encrypted, plain = self._oram_components(oram, pad_position_entries, full)
+        components = dict(extra_state)
+        components.update(encrypted)
 
         sizes = self.checkpoints.write_checkpoint(
             epoch_id=epoch_id, components=components, plain_components=plain, full=full,
             access_count=oram.access_count, eviction_count=oram.eviction_count)
         oram.position_map.clear_dirty()
         oram.metadata.clear_dirty()
+        self.wal.truncate_before(epoch_id, self.config.read_batches)
+
+        self.stats_checkpoint_bytes += sizes.total_bytes
+        self.stats_checkpoints += 1
+        self._charge(sizes.total_bytes, requests=len(components) + len(plain) + 1)
+        return sizes
+
+    def checkpoint_data_layer(self, epoch_id: int, data_layer, full: bool) -> CheckpointSizes:
+        """Checkpoint every partition of the proxy's data layer as one epoch.
+
+        Component names are namespaced by the partition's prefix (partition 0
+        of a single-tree layer uses no prefix, keeping the historical layout)
+        and the manifest records per-partition access/eviction counters so
+        recovery can restore each tree's schedule position.
+        """
+        components: Dict[str, bytes] = {}
+        plain: Dict[str, bytes] = {}
+        partition_counters: Dict[str, List[int]] = {}
+        pad_entries = data_layer.position_delta_pad_entries
+        for part in data_layer.partitions:
+            prefix = part.component_prefix
+            directory = part.directory
+            components[prefix + "key_directory"] = (directory.serialize() if full
+                                                    else directory.serialize_delta())
+            encrypted, part_plain = self._oram_components(part.oram, pad_entries, full)
+            for name, blob in encrypted.items():
+                components[prefix + name] = blob
+            for name, blob in part_plain.items():
+                plain[prefix + name] = blob
+            partition_counters[str(part.index)] = [part.oram.access_count,
+                                                   part.oram.eviction_count]
+
+        first = data_layer.partitions[0].oram
+        sizes = self.checkpoints.write_checkpoint(
+            epoch_id=epoch_id, components=components, plain_components=plain, full=full,
+            access_count=first.access_count, eviction_count=first.eviction_count,
+            partition_counters=(partition_counters
+                                if len(data_layer.partitions) > 1 else None))
+        for part in data_layer.partitions:
+            part.oram.position_map.clear_dirty()
+            part.oram.metadata.clear_dirty()
+            part.directory.clear_dirty()
         self.wal.truncate_before(epoch_id, self.config.read_batches)
 
         self.stats_checkpoint_bytes += sizes.total_bytes
@@ -162,41 +213,39 @@ class RecoveryManager:
     # ------------------------------------------------------------------ #
     # Recovery
     # ------------------------------------------------------------------ #
-    def restore_metadata(self, proxy) -> RecoveryResult:
-        """Restore the proxy's volatile metadata from the checkpoint chain."""
-        manifest = self.checkpoints.manifest
-        result = RecoveryResult(recovered_epoch=manifest.last_epoch,
-                                aborted_epoch=manifest.last_epoch + 1)
-        params = proxy.oram.params
-
+    def _restore_partition(self, part, result: RecoveryResult,
+                           manifest) -> None:
+        """Restore one partition's metadata from its namespaced components."""
         from repro.core.data_handler import KeyDirectory
-        position = PositionMap(params.num_leaves, rng=proxy.oram.rng)
+        params = part.oram.params
+        prefix = part.component_prefix
+        position = PositionMap(params.num_leaves, rng=part.oram.rng)
         metadata = MetadataTable(params.num_buckets, params.z_real, params.s_dummies,
-                                 rng=proxy.oram.rng)
+                                 rng=part.oram.rng)
         stash = Stash()
         directory = KeyDirectory()
 
         for entry in self.checkpoints.chain():
             epoch = int(entry["epoch"])
             full = bool(entry["full"])
-            position_blob = self.checkpoints.read_component(epoch, "position", full)
-            metadata_blob = self.checkpoints.read_component(epoch, "metadata", full)
-            stash_blob = self.checkpoints.read_component(epoch, "stash", full)
-            valid_blob = self.checkpoints.read_component(epoch, "valid_map", full,
+            position_blob = self.checkpoints.read_component(epoch, prefix + "position", full)
+            metadata_blob = self.checkpoints.read_component(epoch, prefix + "metadata", full)
+            stash_blob = self.checkpoints.read_component(epoch, prefix + "stash", full)
+            valid_blob = self.checkpoints.read_component(epoch, prefix + "valid_map", full,
                                                          encrypted=False)
-            extra_blob = self.checkpoints.read_component(epoch, "key_directory", full)
+            extra_blob = self.checkpoints.read_component(epoch, prefix + "key_directory", full)
             for blob in (position_blob, metadata_blob, stash_blob, valid_blob, extra_blob):
                 if blob is not None:
                     result.bytes_read += len(blob)
 
             if position_blob is not None:
                 if full:
-                    position = PositionMap.deserialize_full(position_blob, rng=proxy.oram.rng)
+                    position = PositionMap.deserialize_full(position_blob, rng=part.oram.rng)
                 else:
                     position.apply_delta(position_blob)
             if metadata_blob is not None:
                 if full:
-                    metadata = MetadataTable.deserialize_full(metadata_blob, rng=proxy.oram.rng)
+                    metadata = MetadataTable.deserialize_full(metadata_blob, rng=part.oram.rng)
                 else:
                     metadata.apply_delta(metadata_blob)
             if valid_blob is not None:
@@ -209,17 +258,31 @@ class RecoveryManager:
                 else:
                     directory.apply_delta(extra_blob)
 
-        proxy.oram.position_map = position
-        proxy.oram.metadata = metadata
-        proxy.oram.stash = stash
-        proxy.oram.access_count = manifest.access_count
-        proxy.oram.eviction_count = manifest.eviction_count
-        proxy._epoch_counter = manifest.last_epoch + 1
+        part.oram.position_map = position
+        part.oram.metadata = metadata
+        part.oram.stash = stash
+        counters = manifest.partition_counters.get(str(part.index))
+        if counters is not None:
+            part.oram.access_count, part.oram.eviction_count = counters
+        else:
+            part.oram.access_count = manifest.access_count
+            part.oram.eviction_count = manifest.eviction_count
         if len(directory):
-            proxy.data_handler.directory = directory
+            part.handler.directory = directory
 
-        result.position_entries = len(position)
-        result.metadata_buckets = len(metadata.buckets_present())
+        result.position_entries += len(position)
+        result.metadata_buckets += len(metadata.buckets_present())
+
+    def restore_metadata(self, proxy) -> RecoveryResult:
+        """Restore every data-layer partition from the checkpoint chain."""
+        manifest = self.checkpoints.manifest
+        result = RecoveryResult(recovered_epoch=manifest.last_epoch,
+                                aborted_epoch=manifest.last_epoch + 1)
+
+        for part in proxy.data_layer.partitions:
+            self._restore_partition(part, result, manifest)
+        proxy._epoch_counter = manifest.last_epoch + 1
+
         result.position_ms = result.position_entries * self.costs.decrypt_entry_ms
         result.permutation_ms = result.metadata_buckets * self.costs.decrypt_bucket_ms
         result.network_ms = (result.bytes_read / self.costs.bandwidth_bytes_per_ms
@@ -240,10 +303,11 @@ class RecoveryManager:
             replay_keys.extend(record.keys)
         physical_requests = 0
         for key in replay_keys:
-            block_id = proxy.data_handler.directory.block_id(key)
-            plan = proxy.oram.plan_path_read(block_id)
+            part = proxy.data_layer.partition_for_key(key)
+            block_id = part.directory.block_id(key)
+            plan = part.oram.plan_path_read(block_id)
             slot_keys = [slot.storage_key for slot in plan.slot_reads]
-            fetched = proxy.storage.read_batch(slot_keys, parallelism=proxy.config.parallelism)
+            fetched = part.storage.read_batch(slot_keys, parallelism=proxy.config.parallelism)
             physical_requests += len(slot_keys)
             result.bytes_read += sum(len(v) for v in fetched.values.values() if v)
             for slot in plan.slot_reads:
@@ -251,11 +315,11 @@ class RecoveryManager:
                 if blob is None or slot.expected_block is None:
                     continue
                 from repro.oram.crypto import freshness_context
-                bid, value = proxy.cipher.open_block(
+                bid, value = part.cipher.open_block(
                     blob, freshness_context(slot.bucket_id, slot.version, slot.slot_index))
-                if bid is not None and bid not in proxy.oram.stash:
-                    leaf = proxy.oram.position_map.lookup_or_assign(bid)
-                    proxy.oram.stash.put(bid, leaf, value)
+                if bid is not None and bid not in part.oram.stash:
+                    leaf = part.oram.position_map.lookup_or_assign(bid)
+                    part.oram.stash.put(bid, leaf, value)
         result.paths_replayed = len(replay_keys)
         parallelism = self.latency.effective_parallelism(proxy.config.parallelism)
         waves = (physical_requests + parallelism - 1) // parallelism if physical_requests else 0

@@ -1,0 +1,21 @@
+"""Partitioned oblivious storage: the :class:`DataLayer` seam.
+
+The proxy's data path — key directory, version cache, Ring ORAM batches —
+sits behind one interface with two implementations: a single tree
+(:class:`SingleOramDataLayer`, the paper's proxy) and a hash-partitioned
+set of parallel trees (:class:`PartitionedDataLayer`, the "sharded Obladi"
+scale direction).  ``build_data_layer`` picks one from the configuration.
+"""
+
+from repro.sharding.data_layer import (DataLayer, OramPartition,
+                                       SingleOramDataLayer, key_partition)
+from repro.sharding.partitioned import PartitionedDataLayer, build_data_layer
+
+__all__ = [
+    "DataLayer",
+    "OramPartition",
+    "SingleOramDataLayer",
+    "PartitionedDataLayer",
+    "build_data_layer",
+    "key_partition",
+]

@@ -1,0 +1,154 @@
+"""N independent Ring ORAM partitions behind the :class:`DataLayer` seam.
+
+The keyspace is hashed across ``config.shards`` partitions, each with its
+own position map, stash, bucket metadata, key directory and storage
+namespace (``p<i>/`` on the shared server).  An epoch read batch of
+``b_read`` slots fans out as ``shards`` padded per-partition batches of
+``ceil(b_read / shards)`` slots each; the write batch fans out the same
+way.  Per-partition obliviousness is preserved because every partition
+executes its full padded batch every round regardless of how many real
+requests hashed to it.
+
+Timing follows the paper's parallel-batch model (§7) one level up: the
+partition batches are independent parallel work, so the epoch's simulated
+batch duration is the *maximum* over partitions — exactly how
+:mod:`repro.oram.dependency` already treats the independent slot fetches
+inside one batch.  Each partition's executor therefore runs with a deferred
+clock and the layer advances the shared :class:`~repro.sim.clock.SimClock`
+once per fan-out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import ObladiConfig
+from repro.core.version_cache import VersionCache
+from repro.sharding.data_layer import DataLayer, build_partition, key_partition
+from repro.sim.clock import SimClock
+from repro.storage.backend import StorageServer
+from repro.storage.namespace import NamespacedStorage, partition_prefix
+
+
+class PartitionedDataLayer(DataLayer):
+    """Shard the keyspace across parallel Ring ORAM partitions."""
+
+    def __init__(self, config: ObladiConfig, storage: StorageServer,
+                 clock: SimClock, master_key: bytes) -> None:
+        if config.shards < 2:
+            raise ValueError("PartitionedDataLayer needs at least two shards; "
+                             "use SingleOramDataLayer for one")
+        self.config = config
+        self.clock = clock
+        self.base_storage = storage
+        self.cache = VersionCache()
+        self.partitions = []
+        for index in range(config.shards):
+            prefix = partition_prefix(index)
+            view = NamespacedStorage(storage, prefix)
+            # Distinct deterministic RNG streams per partition (position
+            # remapping, permutations); None stays None (non-reproducible).
+            seed = None if config.seed is None else (
+                config.seed + 1_000_003 * (index + 1) + config.partition_seed)
+            self.partitions.append(
+                build_partition(config, index, view, clock, master_key,
+                                self.cache, component_prefix=prefix,
+                                seed=seed, advance_clock=False))
+        self._partition_cache: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def partition_of(self, key: str) -> int:
+        index = self._partition_cache.get(key)
+        if index is None:
+            index = key_partition(key, self.config.shards, self.config.partition_seed)
+            self._partition_cache[key] = index
+        return index
+
+    def _group_keys(self, keys) -> List[List[str]]:
+        groups: List[List[str]] = [[] for _ in self.partitions]
+        for key in keys:
+            groups[self.partition_of(key)].append(key)
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # Epoch lifecycle
+    # ------------------------------------------------------------------ #
+    def begin_epoch(self) -> None:
+        self.cache.reset()
+        for part in self.partitions:
+            part.executor.begin_epoch()
+
+    def abort_epoch(self) -> None:
+        self.cache.reset()
+        for part in self.partitions:
+            part.executor.abort_epoch()
+            part.executor.take_deferred_ms()
+
+    # ------------------------------------------------------------------ #
+    # Batched physical operations (parallel across partitions)
+    # ------------------------------------------------------------------ #
+    def _advance_parallel(self) -> float:
+        """Advance the shared clock by the slowest partition's deferred work."""
+        makespan = max(part.executor.take_deferred_ms() for part in self.partitions)
+        if makespan > 0:
+            self.clock.advance(makespan)
+        return makespan
+
+    def execute_read_batch(self, keys, batch_size: int) -> Dict[str, Optional[bytes]]:
+        """Fan one epoch read batch out as padded per-partition batches.
+
+        ``batch_size`` is the configured epoch-level ``b_read``; every
+        partition runs a padded batch of the per-partition quota, so the
+        physical shape each partition's storage namespace observes is a
+        function of the configuration alone.
+        """
+        del batch_size  # the per-partition quota is config-derived
+        quota = self.config.partition_read_batch_size
+        out: Dict[str, Optional[bytes]] = {}
+        for part, group in zip(self.partitions, self._group_keys(keys)):
+            out.update(part.handler.execute_read_batch(group, quota))
+        self._advance_parallel()
+        return out
+
+    def execute_write_batch(self, items: Dict[str, bytes], batch_size: int) -> None:
+        del batch_size
+        quota = self.config.partition_write_batch_size
+        groups: List[Dict[str, bytes]] = [{} for _ in self.partitions]
+        for key, value in items.items():
+            groups[self.partition_of(key)][key] = value
+        for part, group in zip(self.partitions, groups):
+            # A group can exceed the quota only through the proxy's overflow
+            # fallback; pad to at least the quota, never truncate real writes.
+            part.handler.execute_write_batch(group, max(quota, len(group)))
+        self._advance_parallel()
+
+    def flush(self) -> float:
+        for part in self.partitions:
+            part.handler.flush()
+        return self._advance_parallel()
+
+    def bulk_load(self, items: Dict[str, bytes]) -> None:
+        groups: List[Dict[int, bytes]] = [{} for _ in self.partitions]
+        for key, value in items.items():
+            part = self.partition_for_key(key)
+            groups[part.index][part.directory.block_id(key)] = value
+        for part, blocks in zip(self.partitions, groups):
+            part.oram.bulk_load(blocks)
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+    @property
+    def position_delta_pad_entries(self) -> int:
+        return self.config.partition_position_delta_pad_entries
+
+
+def build_data_layer(config: ObladiConfig, storage: StorageServer,
+                     clock: SimClock, master_key: bytes) -> DataLayer:
+    """Construct the data layer the configuration asks for."""
+    from repro.sharding.data_layer import SingleOramDataLayer
+    if config.shards <= 1:
+        return SingleOramDataLayer(config, storage, clock, master_key)
+    return PartitionedDataLayer(config, storage, clock, master_key)

@@ -10,6 +10,7 @@ package can verify workload independence empirically.
 
 from repro.storage.backend import StorageServer, StorageRequest, StorageOp
 from repro.storage.memory import InMemoryStorageServer
+from repro.storage.namespace import NamespacedStorage, partition_prefix
 from repro.storage.trace import AccessTrace, TraceEvent
 
 __all__ = [
@@ -17,6 +18,8 @@ __all__ = [
     "StorageRequest",
     "StorageOp",
     "InMemoryStorageServer",
+    "NamespacedStorage",
+    "partition_prefix",
     "AccessTrace",
     "TraceEvent",
 ]

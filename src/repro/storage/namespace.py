@@ -1,0 +1,80 @@
+"""Per-partition namespaces over one untrusted storage server.
+
+A partitioned Obladi proxy runs N independent Ring ORAM trees against what
+is logically one cloud store.  Each partition addresses storage through a
+:class:`NamespacedStorage` view that prefixes every key with the partition's
+namespace (``p<index>/``), so
+
+* partitions can never collide (each has its own ``oram/...``, bucket
+  versions, etc. under its prefix), and
+* the adversary-visible trace records the *prefixed* keys, which is exactly
+  what a real deployment exposes: the storage provider sees which partition
+  (storage namespace) each request targets, and the obliviousness argument
+  must therefore hold **per partition**
+  (:mod:`repro.analysis.obliviousness` splits traces accordingly).
+
+The view shares the base server's clock, trace and latency model; only the
+key space is remapped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.storage.backend import BatchResult, StorageServer
+
+
+def partition_prefix(index: int) -> str:
+    """Storage namespace prefix of partition ``index`` (empty for a single ORAM)."""
+    if index < 0:
+        raise ValueError("partition index cannot be negative")
+    return f"p{index}/"
+
+
+class NamespacedStorage(StorageServer):
+    """A prefixed view of another :class:`StorageServer`.
+
+    All requests are forwarded to the base server with ``prefix`` prepended
+    to every key; results are returned under the caller's unprefixed keys.
+    Attributes not overridden here (``clock``, ``trace``, ``fail``...)
+    delegate to the base server, so callers that inspect the trace or inject
+    failures keep working against the shared store.
+    """
+
+    def __init__(self, base: StorageServer, prefix: str) -> None:
+        self.base = base
+        self.prefix = prefix
+
+    def __getattr__(self, name):
+        # Only reached for attributes not defined on the view itself:
+        # clock, trace, charge_latency, fail/recover, stats_* ...
+        return getattr(self.base, name)
+
+    # ------------------------------------------------------------------ #
+    # StorageServer interface
+    # ------------------------------------------------------------------ #
+    def read_batch(self, keys: Sequence[str], parallelism: int = 1,
+                   record_batch: bool = True) -> BatchResult:
+        result = self.base.read_batch([self.prefix + key for key in keys],
+                                      parallelism=parallelism, record_batch=record_batch)
+        values = {key: result.values.get(self.prefix + key) for key in keys}
+        return BatchResult(values=values, elapsed_ms=result.elapsed_ms,
+                           request_count=result.request_count)
+
+    def write_batch(self, items: Dict[str, bytes], parallelism: int = 1,
+                    record_batch: bool = True) -> BatchResult:
+        prefixed = {self.prefix + key: payload for key, payload in items.items()}
+        return self.base.write_batch(prefixed, parallelism=parallelism,
+                                     record_batch=record_batch)
+
+    def delete_batch(self, keys: Sequence[str], parallelism: int = 1) -> BatchResult:
+        return self.base.delete_batch([self.prefix + key for key in keys],
+                                      parallelism=parallelism)
+
+    def contains(self, key: str) -> bool:
+        return self.base.contains(self.prefix + key)
+
+    def keys(self) -> List[str]:
+        """Keys of this namespace, with the prefix stripped."""
+        return [key[len(self.prefix):] for key in self.base.keys()
+                if key.startswith(self.prefix)]

@@ -126,6 +126,22 @@ class AccessTrace:
         """Keys in access order restricted to those starting with ``prefix``."""
         return [e.key for e in self._events if e.key.startswith(prefix)]
 
+    def filter_prefix(self, prefix: str, strip: bool = True) -> "AccessTrace":
+        """New trace holding only events under ``prefix``.
+
+        With ``strip`` (the default) the prefix is removed from the returned
+        events' keys, so the view of one ORAM partition's storage namespace
+        (``p<i>/``) looks exactly like a single-tree trace and all analysis
+        helpers apply unchanged.
+        """
+        view = AccessTrace()
+        for event in self._events:
+            if not event.key.startswith(prefix):
+                continue
+            key = event.key[len(prefix):] if strip else event.key
+            view.record(event.op, key, event.size_bytes, event.time_ms, event.batch_id)
+        return view
+
     def total_bytes(self, op: Optional[StorageOp] = None) -> int:
         """Total payload bytes moved, optionally restricted to one op kind."""
         return sum(e.size_bytes for e in self._events if op is None or e.op == op)

@@ -10,6 +10,7 @@ working; new code should use :func:`repro.api.create_engine` directly.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Optional
 
 from repro.api.adapters import wrap_engine
@@ -24,15 +25,27 @@ FactorySource = Callable[[], ProgramFactory]
 WorkloadRun = RunStats
 
 
+def _warn_deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.workloads.driver.{name} is a legacy shim; build an engine with "
+        f"repro.api.create_engine(...) and call engine.run_closed_loop(...) instead",
+        DeprecationWarning, stacklevel=3)
+
+
 def run_obladi_closed_loop(proxy: ObladiProxy, factory_source: FactorySource,
                            total_transactions: int, clients: int = 32,
                            max_retries: int = 2, max_epochs: int = 10_000) -> RunStats:
     """Run ``total_transactions`` through the Obladi proxy, closed loop.
 
+    .. deprecated:: PR 2
+        Use :func:`repro.api.create_engine` and
+        :meth:`~repro.api.engine.TransactionEngine.run_closed_loop`.
+
     Each epoch admits one transaction per client slot (a client whose
     transaction aborted retries it in a later epoch up to ``max_retries``
     times; afterwards the driver draws a fresh transaction).
     """
+    _warn_deprecated("run_obladi_closed_loop")
     return run_closed_loop(wrap_engine(proxy), factory_source, total_transactions,
                            clients=clients, max_retries=max_retries,
                            max_batches=max_epochs)
@@ -41,7 +54,13 @@ def run_obladi_closed_loop(proxy: ObladiProxy, factory_source: FactorySource,
 def run_baseline_closed_loop(baseline, factory_source: FactorySource,
                              total_transactions: int, clients: int = 32,
                              max_retries: int = 2) -> RunStats:
-    """Run a baseline (NoPriv or the 2PL store) closed loop."""
+    """Run a baseline (NoPriv or the 2PL store) closed loop.
+
+    .. deprecated:: PR 2
+        Use :func:`repro.api.create_engine` and
+        :meth:`~repro.api.engine.TransactionEngine.run_closed_loop`.
+    """
+    _warn_deprecated("run_baseline_closed_loop")
     return run_closed_loop(wrap_engine(baseline), factory_source, total_transactions,
                            clients=clients, max_retries=max_retries)
 

@@ -7,7 +7,9 @@ import pytest
 from repro.analysis.obliviousness import (batch_shapes_equal, bucket_access_counts,
                                           check_bucket_invariant, chi_square_uniformity,
                                           epoch_batch_pattern, leaf_access_counts,
-                                          slot_read_multiset, trace_similarity)
+                                          partition_trace_similarity, partition_traces,
+                                          slot_read_multiset, split_partition_key,
+                                          trace_similarity)
 from repro.storage.backend import StorageOp
 from repro.storage.trace import AccessTrace
 
@@ -50,6 +52,41 @@ class TestKeyParsingAndCounts:
     def test_bucket_invariant_clean_trace(self):
         trace = synthetic_trace([f"oram/1/v0/s/{i}" for i in range(5)])
         assert check_bucket_invariant(trace) == []
+
+
+class TestPartitionSplitting:
+    def test_split_partition_key(self):
+        assert split_partition_key("p2/oram/3/v0/s/1") == (2, "oram/3/v0/s/1")
+        assert split_partition_key("oram/3/v0/s/1") == (0, "oram/3/v0/s/1")
+        assert split_partition_key("wal/0/0") == (0, "wal/0/0")
+        assert split_partition_key("p11/ckpt/manifest") == (11, "ckpt/manifest")
+
+    def test_prefixed_oram_keys_are_counted(self):
+        trace = synthetic_trace(["p0/oram/3/v0/s/1", "p1/oram/3/v0/s/1", "oram/3/v0/s/2"])
+        assert bucket_access_counts(trace) == {3: 3}
+
+    def test_partition_traces_split_and_strip(self):
+        trace = synthetic_trace(["p0/oram/1/v0/s/0", "p1/oram/2/v0/s/0",
+                                 "p0/oram/1/v0/s/1", "wal/0/0"])
+        split = partition_traces(trace)
+        assert set(split) == {0, 1}
+        assert split[0].keys_accessed() == ["oram/1/v0/s/0", "oram/1/v0/s/1", "wal/0/0"]
+        assert split[1].keys_accessed() == ["oram/2/v0/s/0"]
+
+    def test_bucket_invariant_is_per_partition(self):
+        # The same (bucket, version, slot) in two partitions is NOT a
+        # violation; a repeat within one partition is.
+        clean = synthetic_trace(["p0/oram/1/v0/s/0", "p1/oram/1/v0/s/0"])
+        assert check_bucket_invariant(clean) == []
+        dirty = synthetic_trace(["p1/oram/1/v0/s/0", "p1/oram/1/v0/s/0"])
+        assert check_bucket_invariant(dirty) == [(1, 0, 0)]
+
+    def test_partition_trace_similarity_flags_missing_partition(self):
+        a = synthetic_trace(["p0/oram/15/v0/s/0", "p1/oram/15/v0/s/0"])
+        b = synthetic_trace(["p0/oram/15/v0/s/0"])
+        distances = partition_trace_similarity(a, b, depth=4)
+        assert distances[0] == 0.0
+        assert distances[1] == 1.0
 
 
 class TestStatistics:

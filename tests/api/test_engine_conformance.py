@@ -4,6 +4,11 @@ Every test in this file runs identically against all three engines
 (``obladi``, ``nopriv``, ``mysql``): same programs in, same result-type
 semantics out.  This is the contract the evaluation harness relies on —
 a Figure-9 row must mean the same thing no matter which engine produced it.
+
+The Obladi engine additionally runs in a *sharded* variant (``shards=4``,
+the partitioned data layer): sharding is an implementation detail of the
+data path and must clear the exact same bar — submission order, RunStats
+math, serializable histories, crash/recover.
 """
 
 import random
@@ -17,19 +22,29 @@ from repro.core.client import Read, ReadMany, Write
 
 NUM_KEYS = 24
 
+#: (kind, shards) variants the whole suite runs against.
+ENGINE_VARIANTS = [(kind, 1) for kind in ENGINE_KINDS] + [("obladi", 4)]
 
-def _config() -> EngineConfig:
+
+def _variant_id(variant) -> str:
+    kind, shards = variant
+    return f"{kind}-shards{shards}" if shards > 1 else kind
+
+
+def _config(shards: int = 1) -> EngineConfig:
     return (EngineConfig()
             .with_oram(num_blocks=512, z_real=8, block_size=128)
             .with_batching(read_batches=3, read_batch_size=32, write_batch_size=32)
+            .with_sharding(shards)
             .with_durability(False)
             .with_encryption(False)
             .with_seed(3))
 
 
-@pytest.fixture(params=ENGINE_KINDS)
+@pytest.fixture(params=ENGINE_VARIANTS, ids=_variant_id)
 def engine(request) -> TransactionEngine:
-    eng = create_engine(request.param, _config())
+    kind, shards = request.param
+    eng = create_engine(kind, _config(shards))
     eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
     return eng
 
@@ -192,8 +207,9 @@ class TestCrashRecovery:
         with pytest.raises(EngineFeatureUnavailable):
             engine.recover()
 
-    def test_obladi_crash_recover_round_trip(self):
-        eng = create_engine("obladi", _config().with_durability(True))
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_obladi_crash_recover_round_trip(self, shards):
+        eng = create_engine("obladi", _config(shards).with_durability(True))
         eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
         assert eng.supports_crash_recovery
         eng.submit(append_program("k1"))
@@ -201,8 +217,9 @@ class TestCrashRecovery:
         eng.recover()
         assert eng.read("k1") == b"0x"
 
-    def test_recover_preserves_lifetime_stats_and_history(self):
-        eng = create_engine("obladi", _config().with_durability(True))
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_recover_preserves_lifetime_stats_and_history(self, shards):
+        eng = create_engine("obladi", _config(shards).with_durability(True))
         eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
         eng.submit(append_program("k1"))
         pre_crash = eng.stats()
@@ -218,3 +235,39 @@ class TestCrashRecovery:
         assert len(eng.committed_history) == history_before + 1
         ok, cycle = check_serializable(eng.committed_history)
         assert ok, cycle
+
+    def test_sharded_recover_restores_every_partition(self):
+        """After a crash all partitions come back: every key stays readable."""
+        eng = create_engine("obladi", _config(4).with_durability(True))
+        eng.load_initial_data({f"k{i}": str(i).encode() for i in range(NUM_KEYS)})
+        partitions = {eng.proxy.data_layer.partition_of(f"k{i}")
+                      for i in range(NUM_KEYS)}
+        assert partitions == {0, 1, 2, 3}   # the dataset touches every shard
+        eng.submit(append_program("k1"))    # run (and checkpoint) one epoch
+        eng.crash()
+        eng.recover()
+        assert len(eng.proxy.data_layer.partitions) == 4
+        assert eng.read("k1") == b"1x"
+        for i in range(2, NUM_KEYS):
+            assert eng.read(f"k{i}") == str(i).encode()
+
+
+class TestShardedStats:
+    def test_partition_breakdown_sums_to_totals(self):
+        eng = create_engine("obladi", _config(4))
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        eng.run_closed_loop(mixed_source(seed=5), 16, clients=4)
+        stats = eng.stats()
+        assert len(stats.partition_physical) == 4
+        assert sum(r for r, _ in stats.partition_physical) == stats.physical_reads
+        assert sum(w for _, w in stats.partition_physical) == stats.physical_writes
+        assert all(reads > 0 for reads, _ in stats.partition_physical)
+
+    def test_single_tree_reports_one_partition(self):
+        eng = create_engine("obladi", _config(1))
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        eng.submit(append_program("k1"))
+        stats = eng.stats()
+        assert len(stats.partition_physical) == 1
+        assert stats.partition_physical[0] == (stats.physical_reads,
+                                               stats.physical_writes)

@@ -27,6 +27,20 @@ def obladi(smallbank):
     return proxy
 
 
+class TestDeprecationShim:
+    def test_obladi_driver_warns_and_points_at_create_engine(self, obladi, smallbank):
+        with pytest.warns(DeprecationWarning, match=r"repro\.api\.create_engine"):
+            run_obladi_closed_loop(obladi, smallbank.transaction_factory,
+                                   total_transactions=4, clients=2)
+
+    def test_baseline_driver_warns_and_points_at_create_engine(self, smallbank):
+        baseline = NoPrivProxy(backend="server")
+        baseline.load_initial_data(smallbank.initial_data())
+        with pytest.warns(DeprecationWarning, match=r"repro\.api\.create_engine"):
+            run_baseline_closed_loop(baseline, smallbank.transaction_factory,
+                                     total_transactions=4, clients=2)
+
+
 class TestObladiDriver:
     def test_closed_loop_commits_requested_transactions(self, obladi, smallbank):
         run = run_obladi_closed_loop(obladi, smallbank.transaction_factory,
