@@ -7,6 +7,12 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# Docs gate: the README/ARCHITECTURE doctest snippets must execute, and
+# every exported repro.api / repro.sharding symbol must carry a docstring.
+echo "== docs gate: doctests + exported-symbol docstrings =="
+python -m doctest docs/ARCHITECTURE.md README.md
+python scripts/check_docstrings.py
+
 # Smoke first: an end-to-end regression across the three engines surfaces
 # in seconds, before the multi-minute figure regenerations start.
 echo "== smoke: Figure 9 end-to-end across all three engines =="

@@ -11,6 +11,7 @@ from repro.analysis.obliviousness import (bucket_access_counts, leaf_access_coun
                                           chi_square_uniformity, trace_similarity,
                                           check_bucket_invariant, slot_read_multiset,
                                           partition_traces, partition_trace_similarity,
+                                          server_traces, server_partition_traces,
                                           split_partition_key)
 from repro.analysis.metrics import LatencyStats, summarize_latencies, throughput_tps
 
@@ -23,6 +24,8 @@ __all__ = [
     "slot_read_multiset",
     "partition_traces",
     "partition_trace_similarity",
+    "server_traces",
+    "server_partition_traces",
     "split_partition_key",
     "LatencyStats",
     "summarize_latencies",

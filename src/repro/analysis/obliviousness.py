@@ -17,7 +17,11 @@ namespace (``p<i>/oram/...``); the storage provider sees which partition
 each request targets, so indistinguishability must hold **per partition**.
 :func:`partition_traces` splits a shared trace into per-partition traces
 (prefixes stripped) so every helper in this module applies unchanged to
-each partition's view.
+each partition's view.  When the partitions are hosted on *distinct*
+storage servers (``storage_servers > 1``), each node runs its own observer
+seeing only its own requests: :func:`server_traces` and
+:func:`server_partition_traces` recover those per-node views so the same
+checks can be asserted for every server independently.
 """
 
 from __future__ import annotations
@@ -82,6 +86,38 @@ def partition_traces(trace: AccessTrace) -> Dict[int, AccessTrace]:
             sub = per_partition[index] = AccessTrace()
         sub.record(event.op, stripped, event.size_bytes, event.time_ms, event.batch_id)
     return per_partition
+
+
+def server_traces(storage) -> Dict[int, AccessTrace]:
+    """One adversary trace per storage *server* of a deployment.
+
+    A :class:`~repro.storage.cluster.StorageCluster` runs one observer per
+    node: each server records only the requests it hosted, so the returned
+    dict maps server index to that node's own trace.  A single server (the
+    colocated topology) yields ``{0: trace}``.  Servers with trace recording
+    disabled are omitted.  Keys inside each trace keep their partition
+    namespaces (``p<i>/``); apply :func:`partition_traces` to a server's
+    trace to split it further into the per-partition views, which is the
+    granularity the indistinguishability argument must hold at.
+    """
+    traces = getattr(storage, "traces", None)
+    if traces is None:
+        trace = getattr(storage, "trace", None)
+        return {} if trace is None else {0: trace}
+    return {index: trace for index, trace in enumerate(traces) if trace is not None}
+
+
+def server_partition_traces(storage) -> Dict[int, Dict[int, AccessTrace]]:
+    """Per-server, per-partition adversary views of a deployment.
+
+    The per-server variant of :func:`partition_traces`: maps each storage
+    server's index to the partition-split (prefix-stripped) traces of the
+    namespaces hosted on that server, so every helper in this module can be
+    applied to each ``(server, partition)`` view independently — each
+    storage-side observer must find its own view workload independent.
+    """
+    return {index: partition_traces(trace)
+            for index, trace in server_traces(storage).items()}
 
 
 def partition_trace_similarity(trace_a: AccessTrace, trace_b: AccessTrace,

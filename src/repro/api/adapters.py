@@ -85,6 +85,7 @@ class ObladiEngine(TransactionEngine):
                           + [r.latency_ms for r in results if r.committed]),
             results=list(retired.results) + results,
             partition_physical=self._partition_physical(),
+            server_physical=self.server_io_counters(),
         )
 
     def _partition_physical(self) -> List[Tuple[int, int]]:
@@ -103,10 +104,12 @@ class ObladiEngine(TransactionEngine):
 
     @property
     def clock(self):
+        """The proxy's simulated clock."""
         return self.proxy.clock
 
     @property
     def committed_history(self):
+        """Committed transactions across every proxy incarnation (crash-safe)."""
         return self._retired_history + self.proxy.committed_history
 
     @property
@@ -121,6 +124,20 @@ class ObladiEngine(TransactionEngine):
 
     def partition_io_counters(self) -> List[Tuple[int, int]]:
         return self._partition_physical()
+
+    def server_io_counters(self) -> List[Tuple[int, int]]:
+        """Per-storage-server lifetime ``(reads, writes)`` request counters.
+
+        Read straight off the storage tier: the untrusted servers survive
+        proxy crashes (recovery reuses the same store), so their counters
+        are already lifetime totals and include durability traffic — this is
+        the per-node observer's ledger, not the data layer's ORAM I/O.
+        """
+        storage = self.proxy.storage
+        servers = getattr(storage, "servers", None)
+        if servers is None:
+            return [(storage.stats_reads, storage.stats_writes)]
+        return [(server.stats_reads, server.stats_writes) for server in servers]
 
     # -- fault injection ------------------------------------------------ #
     def crash(self) -> None:
@@ -221,6 +238,7 @@ class _ClosedLoopBaselineEngine(TransactionEngine):
             physical_writes=writes,
             latencies_ms=list(total.latencies_ms),
             results=list(total.results),
+            server_physical=self.server_io_counters(),
         )
 
     @property
@@ -237,6 +255,10 @@ class _ClosedLoopBaselineEngine(TransactionEngine):
 
     def io_counters(self) -> Tuple[int, int]:
         return (self.impl.storage.stats_reads, self.impl.storage.stats_writes)
+
+    def server_io_counters(self) -> List[Tuple[int, int]]:
+        """The baselines run one storage server; one counter entry."""
+        return [self.io_counters()]
 
     def cpu_ms(self) -> float:
         return self._lifetime.cpu_ms

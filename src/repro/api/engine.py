@@ -139,6 +139,15 @@ class TransactionEngine(abc.ABC):
         """
         return []
 
+    def server_io_counters(self) -> List[Tuple[int, int]]:
+        """Cumulative per-storage-server ``(reads, writes)`` request counters.
+
+        One entry per storage server of the engine's deployment — what each
+        node of the untrusted tier observed, durability traffic included.
+        Engines without per-server accounting return an empty list.
+        """
+        return []
+
     def cpu_ms(self) -> float:
         """Cumulative simulated proxy CPU, where the engine models it."""
         return 0.0

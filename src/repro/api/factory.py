@@ -71,6 +71,14 @@ class EngineConfig:
     shards: Optional[int] = None
     partition_seed: Optional[int] = None
 
+    # Server topology (Obladi only): number of distinct simulated storage
+    # servers hosting the partitions (1 = colocated namespaces on one
+    # server), optional per-link extra RTT, and the proxy's request-driving
+    # parallelism (which also caps concurrent partition-batch fan-out).
+    storage_servers: Optional[int] = None
+    link_extra_rtt_ms: Optional[tuple] = None
+    parallelism: Optional[int] = None
+
     # Durability / security toggles (Obladi only).
     durability: Optional[bool] = None
     encrypt: Optional[bool] = None
@@ -90,6 +98,7 @@ class EngineConfig:
         return replace(self, workload=profile)
 
     def with_backend(self, backend: str) -> "EngineConfig":
+        """Target a storage latency model (``server``/``server_wan``/``dynamo``/``dummy``)."""
         return replace(self, backend=backend)
 
     def with_oram(self, oram: Optional[RingOramConfig] = None, *,
@@ -114,6 +123,7 @@ class EngineConfig:
                       read_batch_size: Optional[int] = None,
                       write_batch_size: Optional[int] = None,
                       batch_interval_ms: Optional[float] = None) -> "EngineConfig":
+        """Override the epoch shape (R / b_read / b_write / Δ); ``None`` keeps the preset."""
         updates = {key: value for key, value in (
             ("read_batches", read_batches),
             ("read_batch_size", read_batch_size),
@@ -135,18 +145,49 @@ class EngineConfig:
             config = replace(config, partition_seed=partition_seed)
         return config
 
+    def with_storage_servers(self, storage_servers: int,
+                             link_extra_rtt_ms: Optional[tuple] = None
+                             ) -> "EngineConfig":
+        """Host the ORAM partitions on ``storage_servers`` distinct servers.
+
+        ``storage_servers=1`` (the default) colocates every partition on one
+        simulated server via key namespaces; ``storage_servers == shards``
+        gives every partition its own server; values in between group
+        partitions round-robin (partition ``i`` on server ``i % M``).  Each
+        server keeps its own adversary trace and its link its own latency
+        model; ``link_extra_rtt_ms[i]`` adds round-trip time to server
+        ``i``'s link for heterogeneous-network experiments.
+        """
+        config = replace(self, storage_servers=storage_servers)
+        if link_extra_rtt_ms is not None:
+            config = replace(config, link_extra_rtt_ms=tuple(link_extra_rtt_ms))
+        return config
+
+    def with_parallelism(self, parallelism: int) -> "EngineConfig":
+        """Cap the proxy's in-flight physical requests (and fan-out lanes).
+
+        Beyond throttling requests inside one partition batch, this bounds
+        how many partition batches the proxy can drive concurrently: with
+        ``shards > parallelism`` the epoch fan-out is *staggered* and its
+        wall-time lands between the ideal-parallel and serial bounds.
+        """
+        return replace(self, parallelism=parallelism)
+
     def with_durability(self, enabled: bool = True,
                         checkpoint_frequency: Optional[int] = None) -> "EngineConfig":
+        """Toggle WAL + checkpointing, optionally setting the full-checkpoint period."""
         config = replace(self, durability=enabled)
         if checkpoint_frequency is not None:
             config = replace(config, checkpoint_frequency=checkpoint_frequency)
         return config
 
     def with_encryption(self, enabled: bool = True) -> "EngineConfig":
+        """Toggle ORAM block / WAL / checkpoint encryption (ablation benchmarks)."""
         return replace(self, encrypt=enabled)
 
     def with_locking(self, *, local_execution: Optional[bool] = None,
                      exclusive_reads: Optional[bool] = None) -> "EngineConfig":
+        """Tune the MySQL-like engine's 2PL behaviour; ``None`` keeps the default."""
         updates = {}
         if local_execution is not None:
             updates["local_execution"] = local_execution
@@ -155,6 +196,7 @@ class EngineConfig:
         return replace(self, **updates)
 
     def with_seed(self, seed: Optional[int]) -> "EngineConfig":
+        """Fix the deterministic RNG seed (``None`` = non-reproducible run)."""
         return replace(self, seed=seed)
 
     # ------------------------------------------------------------------ #
@@ -165,7 +207,8 @@ class EngineConfig:
         overrides = {}
         for field_name in ("read_batches", "read_batch_size", "write_batch_size",
                            "batch_interval_ms", "durability", "encrypt",
-                           "checkpoint_frequency", "shards", "partition_seed"):
+                           "checkpoint_frequency", "shards", "partition_seed",
+                           "storage_servers", "link_extra_rtt_ms", "parallelism"):
             value = getattr(self, field_name)
             if value is not None:
                 overrides[field_name] = value
@@ -200,8 +243,12 @@ def create_engine(kind: str,
         An :class:`EngineConfig`, or — for the Obladi engine only — a fully
         resolved :class:`ObladiConfig`.  Defaults to ``EngineConfig()``.
     storage:
-        Optional pre-built :class:`~repro.storage.memory.InMemoryStorageServer`
-        to run against (shared-storage and trace-inspection scenarios).
+        Optional pre-built storage tier to run against (shared-storage and
+        trace-inspection scenarios): an
+        :class:`~repro.storage.memory.InMemoryStorageServer`, or — for a
+        multi-server Obladi topology — a
+        :class:`~repro.storage.cluster.StorageCluster` whose server count
+        matches ``storage_servers``.
     clock:
         Optional shared :class:`~repro.sim.clock.SimClock`.
     overrides:

@@ -52,6 +52,18 @@ class RetryPolicy:
 DEFAULT_RETRY_POLICY = RetryPolicy()
 
 
+def _counter_deltas(before: List[Tuple[int, int]],
+                    after: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Per-entry ``after - before`` for (reads, writes) counter lists.
+
+    ``before`` may be shorter than ``after`` (an engine can grow entries,
+    e.g. after a topology-preserving recovery); missing entries count as 0.
+    """
+    return [(reads - (before[i][0] if i < len(before) else 0),
+             writes - (before[i][1] if i < len(before) else 0))
+            for i, (reads, writes) in enumerate(after)]
+
+
 def run_closed_loop(engine: TransactionEngine, factory_source: FactorySource,
                     total_transactions: int, clients: int = 32,
                     max_retries: int = 2, max_batches: int = 10_000) -> RunStats:
@@ -69,6 +81,7 @@ def run_closed_loop(engine: TransactionEngine, factory_source: FactorySource,
     start_ms = engine.clock.now_ms
     reads_before, writes_before = engine.io_counters()
     partitions_before = engine.partition_io_counters()
+    servers_before = engine.server_io_counters()
     cpu_before = engine.cpu_ms()
 
     remaining = total_transactions
@@ -105,9 +118,9 @@ def run_closed_loop(engine: TransactionEngine, factory_source: FactorySource,
     reads_after, writes_after = engine.io_counters()
     stats.physical_reads = reads_after - reads_before
     stats.physical_writes = writes_after - writes_before
-    stats.partition_physical = [
-        (reads - (partitions_before[i][0] if i < len(partitions_before) else 0),
-         writes - (partitions_before[i][1] if i < len(partitions_before) else 0))
-        for i, (reads, writes) in enumerate(engine.partition_io_counters())]
+    stats.partition_physical = _counter_deltas(partitions_before,
+                                               engine.partition_io_counters())
+    stats.server_physical = _counter_deltas(servers_before,
+                                            engine.server_io_counters())
     stats.cpu_ms = engine.cpu_ms() - cpu_before
     return stats

@@ -53,6 +53,11 @@ class RunStats:
         Per-ORAM-partition ``(physical_reads, physical_writes)`` breakdown
         for partitioned Obladi engines (one entry per shard; the totals
         above are its sums).  Empty for baselines and legacy consumers.
+    server_physical:
+        Per-storage-server ``(reads, writes)`` request counters — what each
+        *node* of the storage tier observed, durability traffic included
+        (one entry per server; a colocated topology has exactly one).
+        Empty for engines that do not report a server breakdown.
     latencies_ms:
         Per-committed-transaction latency samples.  Latency is measured over
         the *committing attempt* (submission of that attempt to its commit),
@@ -79,6 +84,7 @@ class RunStats:
     latencies_ms: List[float] = field(default_factory=list)
     results: List[TransactionResult] = field(default_factory=list)
     partition_physical: List[Tuple[int, int]] = field(default_factory=list)
+    server_physical: List[Tuple[int, int]] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     # Derived metrics
@@ -97,20 +103,24 @@ class RunStats:
 
     @property
     def average_latency_ms(self) -> float:
+        """Mean committed-transaction latency (0.0 when nothing committed)."""
         if not self.latencies_ms:
             return 0.0
         return sum(self.latencies_ms) / len(self.latencies_ms)
 
     @property
     def p50_latency_ms(self) -> float:
+        """Median committed-transaction latency."""
         return self._percentile(0.50)
 
     @property
     def p95_latency_ms(self) -> float:
+        """95th-percentile committed-transaction latency."""
         return self._percentile(0.95)
 
     @property
     def p99_latency_ms(self) -> float:
+        """99th-percentile committed-transaction latency."""
         return self._percentile(0.99)
 
     def _percentile(self, fraction: float) -> float:
@@ -122,6 +132,7 @@ class RunStats:
 
     @property
     def abort_rate(self) -> float:
+        """Fraction of attempts that aborted (0.0 with no attempts)."""
         total = self.committed + self.aborted
         return self.aborted / total if total else 0.0
 

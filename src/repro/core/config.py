@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.oram.parameters import (RingOramParameters, derive_parameters,
                                    partition_block_count)
@@ -80,6 +80,16 @@ class ObladiConfig:
     shards: int = 1
     partition_seed: int = 0
 
+    # Server topology: how many *distinct* simulated storage servers host the
+    # partitions.  1 (the default) colocates every partition on one server
+    # via key namespaces — the historical layout; ``storage_servers ==
+    # shards`` is one-server-per-partition; values in between group
+    # partitions round-robin (partition i lives on server i % M).
+    # ``link_extra_rtt_ms[i]`` optionally adds round-trip latency to server
+    # i's link (heterogeneous links; servers past the end get none).
+    storage_servers: int = 1
+    link_extra_rtt_ms: Tuple[float, ...] = ()
+
     # Security toggles (used by ablation benchmarks).
     encrypt: bool = True
     dummiless_writes: bool = True
@@ -107,6 +117,13 @@ class ObladiConfig:
             raise ValueError("checkpoint frequency must be at least 1")
         if self.shards < 1:
             raise ValueError("need at least one ORAM partition")
+        if self.storage_servers < 1:
+            raise ValueError("need at least one storage server")
+        if self.storage_servers > self.shards:
+            raise ValueError(
+                f"cannot spread {self.shards} partition(s) over "
+                f"{self.storage_servers} storage servers; "
+                f"storage_servers must not exceed shards")
 
     # ------------------------------------------------------------------ #
     # Derived quantities
@@ -149,6 +166,31 @@ class ObladiConfig:
         return math.ceil(self.write_batch_size / self.shards)
 
     @property
+    def topology(self) -> str:
+        """Human-readable name of the server topology this config describes.
+
+        ``"colocated"`` — every partition namespaced onto one server (the
+        historical layout); ``"per-partition"`` — one server per partition;
+        ``"grouped"`` — M servers for N > M partitions, round-robin.
+        """
+        if self.storage_servers <= 1:
+            return "colocated"
+        if self.storage_servers == self.shards:
+            return "per-partition"
+        return "grouped"
+
+    @property
+    def fanout_lanes(self) -> int:
+        """Concurrent partition batches the proxy can drive (§7 scale model).
+
+        The proxy fans an epoch batch out to every partition's server, but it
+        only has ``parallelism`` request-driving slots: when partitions
+        outnumber them the fan-out is *staggered* — partition batches are
+        list-scheduled onto this many lanes instead of all starting at once.
+        """
+        return max(1, min(self.parallelism, self.shards))
+
+    @property
     def partition_position_delta_pad_entries(self) -> int:
         """Per-partition padding bound for position-map delta checkpoints.
 
@@ -163,11 +205,15 @@ class ObladiConfig:
         return replace(self, backend=backend)
 
     def describe(self) -> str:
+        """One-line summary of the epoch, sharding and topology parameters."""
         sharding = f"shards={self.shards}, " if self.shards > 1 else ""
+        servers = (f"servers={self.storage_servers} ({self.topology}), "
+                   if self.storage_servers > 1 else "")
         return (
             f"ObladiConfig(R={self.read_batches}, b_read={self.read_batch_size}, "
             f"b_write={self.write_batch_size}, Δ={self.batch_interval_ms}ms, "
-            f"{sharding}backend={self.backend}, {self.oram.to_parameters().describe()})"
+            f"{sharding}{servers}backend={self.backend}, "
+            f"{self.oram.to_parameters().describe()})"
         )
 
     # ------------------------------------------------------------------ #

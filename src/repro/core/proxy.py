@@ -30,7 +30,7 @@ from repro.core.config import ObladiConfig
 from repro.core.epoch import EpochPhase, EpochState, EpochSummary
 from repro.core.errors import BatchFullError, ProxyCrashedError
 from repro.sim.clock import SimClock
-from repro.storage.memory import InMemoryStorageServer
+from repro.storage.backend import StorageServer
 
 
 @dataclass
@@ -57,15 +57,20 @@ class ObladiProxy:
     """Trusted proxy providing serializable, oblivious transactions."""
 
     def __init__(self, config: Optional[ObladiConfig] = None,
-                 storage: Optional[InMemoryStorageServer] = None,
+                 storage: Optional[StorageServer] = None,
                  clock: Optional[SimClock] = None,
                  recovery_manager=None,
                  master_key: Optional[bytes] = None) -> None:
         self.config = config if config is not None else ObladiConfig()
         self.clock = clock if clock is not None else SimClock()
         if storage is None:
-            storage = InMemoryStorageServer(latency=self.config.backend, clock=self.clock,
-                                            charge_latency=False)
+            from repro.storage.cluster import build_storage
+            storage = build_storage(self.config, clock=self.clock)
+        elif self.config.storage_servers > 1 and not hasattr(storage, "servers"):
+            raise ValueError(
+                f"configuration asks for {self.config.storage_servers} storage "
+                f"servers but a single {type(storage).__name__} was supplied; "
+                f"pass a repro.storage.cluster.StorageCluster")
         self.storage = storage
         # The proxy computes batch timings itself from the dependency-aware
         # schedule, so the raw backend must not double-charge latency.

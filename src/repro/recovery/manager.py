@@ -11,6 +11,13 @@ After a crash, :func:`recover_proxy` builds a fresh proxy from the untrusted
 store: it restores the last committed epoch's metadata, replays the aborted
 epoch's logged paths (so the adversary observes the same accesses), and
 reports a per-component time breakdown — the quantities of Table 11b.
+
+The untrusted tier may be a single server or a multi-server
+:class:`~repro.storage.cluster.StorageCluster`: the WAL and the checkpoint
+chain live on the metadata server (the cluster façade routes them there),
+while path replay addresses each partition's own host server through the
+partition's storage view — recovery therefore restores *every* server's
+partitions from the one checkpoint chain.
 """
 
 from __future__ import annotations

@@ -5,17 +5,26 @@ sits behind one interface with two implementations: a single tree
 (:class:`SingleOramDataLayer`, the paper's proxy) and a hash-partitioned
 set of parallel trees (:class:`PartitionedDataLayer`, the "sharded Obladi"
 scale direction).  ``build_data_layer`` picks one from the configuration.
+
+A partitioned layer also decides *where* each partition lives: with
+``storage_servers > 1`` the partitions are hosted on distinct simulated
+servers of a :class:`~repro.storage.cluster.StorageCluster`, each link timed
+by its own latency model, and partition-batch fan-out is staggered across
+``config.fanout_lanes`` lanes when partitions outnumber the proxy's
+parallelism (:class:`FanoutStats` records the bounds).
 """
 
 from repro.sharding.data_layer import (DataLayer, OramPartition,
                                        SingleOramDataLayer, key_partition)
-from repro.sharding.partitioned import PartitionedDataLayer, build_data_layer
+from repro.sharding.partitioned import (FanoutStats, PartitionedDataLayer,
+                                        build_data_layer)
 
 __all__ = [
     "DataLayer",
     "OramPartition",
     "SingleOramDataLayer",
     "PartitionedDataLayer",
+    "FanoutStats",
     "build_data_layer",
     "key_partition",
 ]

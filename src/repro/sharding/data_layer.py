@@ -60,10 +60,12 @@ class OramPartition:
 
     @property
     def directory(self) -> KeyDirectory:
+        """The partition's application-key → block-id directory."""
         return self.handler.directory
 
     @property
     def cipher(self) -> CipherSuite:
+        """The partition's ORAM block cipher (per-partition derived key)."""
         return self.oram.cipher
 
 
@@ -87,10 +89,12 @@ class DataLayer(abc.ABC):
         """Index of the partition that holds ``key``."""
 
     def partition_for_key(self, key: str) -> OramPartition:
+        """The partition object that holds ``key``."""
         return self.partitions[self.partition_of(key)]
 
     @property
     def num_partitions(self) -> int:
+        """How many ORAM partitions this layer runs."""
         return len(self.partitions)
 
     # -- epoch lifecycle ------------------------------------------------ #
@@ -121,15 +125,19 @@ class DataLayer(abc.ABC):
 
     # -- cache / stash lookups (single reads while serving transactions) - #
     def has_cached(self, key: str) -> bool:
+        """Whether the epoch's version cache holds a base value for ``key``."""
         return self.cache.has_base(key)
 
     def cached_value(self, key: str) -> Optional[bytes]:
+        """The cached base value of ``key`` (``None`` when absent)."""
         return self.cache.base_value(key)
 
     def stash_resident(self, key: str) -> bool:
+        """Whether ``key`` currently sits in its partition's stash."""
         return self.partition_for_key(key).handler.stash_resident(key)
 
     def stash_value(self, key: str) -> Optional[bytes]:
+        """The stash-resident value of ``key`` (``None`` when absent)."""
         return self.partition_for_key(key).handler.stash_value(key)
 
     # -- accounting ----------------------------------------------------- #
@@ -168,8 +176,14 @@ def _oram_cipher_key(master_key: bytes, partition_index: int, shards: int) -> by
 def build_partition(config: ObladiConfig, index: int, storage: StorageServer,
                     clock: SimClock, master_key: bytes, cache: VersionCache,
                     component_prefix: str, seed: Optional[int],
-                    advance_clock: bool) -> OramPartition:
-    """Assemble one partition's ORAM stack over (a view of) the storage."""
+                    advance_clock: bool, latency=None) -> OramPartition:
+    """Assemble one partition's ORAM stack over (a view of) the storage.
+
+    ``latency`` is the latency model of the proxy-to-server *link* this
+    partition's physical batches travel; it defaults to the configured
+    backend and differs per partition only when the partitions live on
+    distinct storage servers (see :mod:`repro.storage.cluster`).
+    """
     shards = config.shards
     oram_config = config.oram if shards <= 1 else config.oram.for_partition(shards)
     params = oram_config.to_parameters()
@@ -179,7 +193,9 @@ def build_partition(config: ObladiConfig, index: int, storage: StorageServer,
     oram = RingOram(params, storage, cipher=cipher, clock=clock,
                     cost_model=config.cost_model, seed=seed,
                     dummiless_writes=config.dummiless_writes)
-    executor = EpochBatchExecutor(oram, latency=config.backend,
+    executor = EpochBatchExecutor(oram,
+                                  latency=latency if latency is not None
+                                  else config.backend,
                                   parallelism=config.parallelism,
                                   cost_model=config.cost_model,
                                   buffer_writes=config.buffer_writes,

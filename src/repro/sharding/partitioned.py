@@ -2,32 +2,77 @@
 
 The keyspace is hashed across ``config.shards`` partitions, each with its
 own position map, stash, bucket metadata, key directory and storage
-namespace (``p<i>/`` on the shared server).  An epoch read batch of
-``b_read`` slots fans out as ``shards`` padded per-partition batches of
-``ceil(b_read / shards)`` slots each; the write batch fans out the same
-way.  Per-partition obliviousness is preserved because every partition
-executes its full padded batch every round regardless of how many real
-requests hashed to it.
+namespace (``p<i>/``).  An epoch read batch of ``b_read`` slots fans out as
+``shards`` padded per-partition batches of ``ceil(b_read / shards)`` slots
+each; the write batch fans out the same way.  Per-partition obliviousness is
+preserved because every partition executes its full padded batch every round
+regardless of how many real requests hashed to it.
 
-Timing follows the paper's parallel-batch model (§7) one level up: the
-partition batches are independent parallel work, so the epoch's simulated
-batch duration is the *maximum* over partitions — exactly how
-:mod:`repro.oram.dependency` already treats the independent slot fetches
-inside one batch.  Each partition's executor therefore runs with a deferred
-clock and the layer advances the shared :class:`~repro.sim.clock.SimClock`
-once per fan-out.
+**Server topology.**  Where each partition's namespace lives is the
+``config.storage_servers`` knob: with one server (default) every namespace
+is colocated on the shared store — the historical layout — while with a
+:class:`~repro.storage.cluster.StorageCluster` partition ``i`` is hosted on
+server ``i % M`` and its executor is timed against that *link*'s own latency
+model, so a slow replica slows only the partitions it hosts and each server
+records its own adversary trace.
+
+**Timing.**  Partition batches are independent parallel work, but the proxy
+has only ``config.parallelism`` request-driving slots.  While partitions fit
+the available lanes the epoch's simulated batch duration is the *maximum*
+over partitions — exactly how :mod:`repro.oram.dependency` treats the
+independent slot fetches inside one batch.  When ``shards`` exceeds the
+lanes the fan-out is *staggered*: the per-partition durations are
+list-scheduled onto ``config.fanout_lanes`` lanes with a
+:class:`~repro.sim.scheduler.ParallelScheduler`, so the makespan lands
+between the ideal-parallel bound (max) and the serial bound (sum) —
+strictly above the ideal bound whenever no single partition dominates.
+Each partition's executor runs with a deferred clock and the layer advances
+the shared :class:`~repro.sim.clock.SimClock` once per fan-out.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.config import ObladiConfig
 from repro.core.version_cache import VersionCache
 from repro.sharding.data_layer import DataLayer, build_partition, key_partition
 from repro.sim.clock import SimClock
+from repro.sim.scheduler import ParallelScheduler, ScheduledOp
 from repro.storage.backend import StorageServer
+from repro.storage.cluster import StorageCluster
 from repro.storage.namespace import NamespacedStorage, partition_prefix
+
+
+@dataclass
+class FanoutStats:
+    """Accumulated timing of partition-batch fan-outs (one epoch has several).
+
+    ``ideal_ms`` sums the ideal-parallel bound (max partition duration per
+    fan-out), ``serial_ms`` the serial bound (sum of partition durations),
+    and ``actual_ms`` what the staggered schedule actually charged; with
+    enough fan-out lanes ``actual_ms == ideal_ms``, and under lane pressure
+    it lies between the two bounds — strictly above the ideal bound when the
+    batches are comparable in size (one dominant batch can still hide the
+    queued short ones inside its own span).
+    """
+
+    fanouts: int = 0
+    staggered_fanouts: int = 0
+    ideal_ms: float = 0.0
+    serial_ms: float = 0.0
+    actual_ms: float = 0.0
+
+    def record(self, durations: List[float], actual_ms: float, lanes: int) -> None:
+        """Fold one fan-out's per-partition ``durations`` into the totals."""
+        self.fanouts += 1
+        busy = sum(1 for d in durations if d > 0)
+        if busy > lanes:
+            self.staggered_fanouts += 1
+        self.ideal_ms += max(durations, default=0.0)
+        self.serial_ms += sum(durations)
+        self.actual_ms += actual_ms
 
 
 class PartitionedDataLayer(DataLayer):
@@ -42,10 +87,31 @@ class PartitionedDataLayer(DataLayer):
         self.clock = clock
         self.base_storage = storage
         self.cache = VersionCache()
+        self._fanout_scheduler = ParallelScheduler(config.fanout_lanes)
+        self.fanout_stats = FanoutStats()
+        cluster = storage if isinstance(storage, StorageCluster) else None
+        if cluster is None and config.storage_servers > 1:
+            raise ValueError(
+                f"configuration asks for {config.storage_servers} storage "
+                f"servers but the data layer was given a "
+                f"{type(storage).__name__}; pass a "
+                f"repro.storage.cluster.StorageCluster")
+        if cluster is not None and cluster.num_servers != config.storage_servers:
+            raise ValueError(
+                f"storage cluster has {cluster.num_servers} servers but the "
+                f"configuration asks for {config.storage_servers}")
         self.partitions = []
         for index in range(config.shards):
             prefix = partition_prefix(index)
-            view = NamespacedStorage(storage, prefix)
+            # Each partition addresses its own host server (round-robin on a
+            # cluster, the shared store otherwise) through its namespace, and
+            # its executor is timed against that link's latency model.
+            if cluster is not None:
+                host = cluster.server_for_partition(index)
+                link = cluster.link_model_for_partition(index)
+            else:
+                host, link = storage, None
+            view = NamespacedStorage(host, prefix)
             # Distinct deterministic RNG streams per partition (position
             # remapping, permutations); None stays None (non-reproducible).
             seed = None if config.seed is None else (
@@ -53,34 +119,37 @@ class PartitionedDataLayer(DataLayer):
             self.partitions.append(
                 build_partition(config, index, view, clock, master_key,
                                 self.cache, component_prefix=prefix,
-                                seed=seed, advance_clock=False))
+                                seed=seed, advance_clock=False, latency=link))
         self._partition_cache: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
     def partition_of(self, key: str) -> int:
+        """Index of the partition whose tree holds ``key`` (cached hash)."""
         index = self._partition_cache.get(key)
         if index is None:
             index = key_partition(key, self.config.shards, self.config.partition_seed)
             self._partition_cache[key] = index
         return index
 
+    # ------------------------------------------------------------------ #
+    # Epoch lifecycle
+    # ------------------------------------------------------------------ #
     def _group_keys(self, keys) -> List[List[str]]:
         groups: List[List[str]] = [[] for _ in self.partitions]
         for key in keys:
             groups[self.partition_of(key)].append(key)
         return groups
 
-    # ------------------------------------------------------------------ #
-    # Epoch lifecycle
-    # ------------------------------------------------------------------ #
     def begin_epoch(self) -> None:
+        """Reset the version cache and every partition's per-epoch state."""
         self.cache.reset()
         for part in self.partitions:
             part.executor.begin_epoch()
 
     def abort_epoch(self) -> None:
+        """Drop buffered writes and deferred time in every partition (crash path)."""
         self.cache.reset()
         for part in self.partitions:
             part.executor.abort_epoch()
@@ -90,8 +159,25 @@ class PartitionedDataLayer(DataLayer):
     # Batched physical operations (parallel across partitions)
     # ------------------------------------------------------------------ #
     def _advance_parallel(self) -> float:
-        """Advance the shared clock by the slowest partition's deferred work."""
-        makespan = max(part.executor.take_deferred_ms() for part in self.partitions)
+        """Advance the shared clock by the fan-out's staggered makespan.
+
+        Every partition's deferred batch duration is one unit of schedulable
+        work; with at least as many fan-out lanes as busy partitions the
+        makespan is simply the slowest partition (ideal parallel fan-out),
+        otherwise the :class:`ParallelScheduler` staggers the batches across
+        the available lanes.
+        """
+        durations = [part.executor.take_deferred_ms() for part in self.partitions]
+        lanes = self.config.fanout_lanes
+        busy = sum(1 for duration in durations if duration > 0)
+        if busy <= lanes:
+            makespan = max(durations, default=0.0)
+        else:
+            ops = [ScheduledOp(op_id=index, duration_ms=duration,
+                               tag=f"partition-batch:{index}")
+                   for index, duration in enumerate(durations) if duration > 0]
+            makespan = self._fanout_scheduler.makespan_ms(ops)
+        self.fanout_stats.record(durations, makespan, lanes)
         if makespan > 0:
             self.clock.advance(makespan)
         return makespan
@@ -113,6 +199,7 @@ class PartitionedDataLayer(DataLayer):
         return out
 
     def execute_write_batch(self, items: Dict[str, bytes], batch_size: int) -> None:
+        """Fan the epoch's write batch out as padded per-partition batches."""
         del batch_size
         quota = self.config.partition_write_batch_size
         groups: List[Dict[str, bytes]] = [{} for _ in self.partitions]
@@ -125,11 +212,13 @@ class PartitionedDataLayer(DataLayer):
         self._advance_parallel()
 
     def flush(self) -> float:
+        """Flush every partition's buffered rewrites; returns the fan-out makespan."""
         for part in self.partitions:
             part.handler.flush()
         return self._advance_parallel()
 
     def bulk_load(self, items: Dict[str, bytes]) -> None:
+        """Load an initial dataset directly into each partition's tree."""
         groups: List[Dict[int, bytes]] = [{} for _ in self.partitions]
         for key, value in items.items():
             part = self.partition_for_key(key)
@@ -142,6 +231,7 @@ class PartitionedDataLayer(DataLayer):
     # ------------------------------------------------------------------ #
     @property
     def position_delta_pad_entries(self) -> int:
+        """Per-partition padding bound for position-map delta checkpoints."""
         return self.config.partition_position_delta_pad_entries
 
 

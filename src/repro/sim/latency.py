@@ -183,3 +183,25 @@ class NetworkConditions:
 def wan_variant(model: LatencyModel, extra_rtt_ms: float = 9.7) -> LatencyModel:
     """Return a WAN flavour of ``model`` with ``extra_rtt_ms`` added per request."""
     return NetworkConditions(base=model, extra_rtt_ms=extra_rtt_ms, name_suffix="_wan").resolve()
+
+
+def link_latency_models(base, num_links: int,
+                        link_extra_rtt_ms=()) -> "list[LatencyModel]":
+    """Resolve one :class:`LatencyModel` per proxy-to-server link.
+
+    A multi-server storage tier (:mod:`repro.storage.cluster`) gives every
+    server its own link.  ``base`` is a backend name or model shared by all
+    of them; ``link_extra_rtt_ms[i]`` (when provided) adds per-link
+    round-trip time to link ``i`` via :class:`NetworkConditions` — links
+    beyond the end of the sequence get no extra delay.
+    """
+    base_model = get_latency_model(base)
+    models = []
+    for index in range(num_links):
+        extra = link_extra_rtt_ms[index] if index < len(link_extra_rtt_ms) else 0.0
+        if extra:
+            models.append(NetworkConditions(base=base_model, extra_rtt_ms=extra,
+                                            name_suffix=f"_s{index}").resolve())
+        else:
+            models.append(base_model)
+    return models

@@ -9,6 +9,7 @@ package can verify workload independence empirically.
 """
 
 from repro.storage.backend import StorageServer, StorageRequest, StorageOp
+from repro.storage.cluster import StorageCluster, build_storage, link_latency_models
 from repro.storage.memory import InMemoryStorageServer
 from repro.storage.namespace import NamespacedStorage, partition_prefix
 from repro.storage.trace import AccessTrace, TraceEvent
@@ -18,6 +19,9 @@ __all__ = [
     "StorageRequest",
     "StorageOp",
     "InMemoryStorageServer",
+    "StorageCluster",
+    "build_storage",
+    "link_latency_models",
     "NamespacedStorage",
     "partition_prefix",
     "AccessTrace",

@@ -1,0 +1,275 @@
+"""A cluster of distinct simulated storage servers (one per partition group).
+
+Obladi's evaluation fans epoch batches out from the proxy to cloud storage
+over a real network.  A single :class:`~repro.storage.memory.InMemoryStorageServer`
+multiplexing every partition through key namespaces cannot express two
+things that matter once the data layer shards:
+
+* **per-link network cost** — each proxy-to-server link has its own
+  :class:`~repro.sim.latency.LatencyModel` (optionally perturbed per link via
+  :class:`~repro.sim.latency.NetworkConditions`), so a slow replica slows
+  only the partitions it hosts;
+* **per-server adversaries** — a real storage provider runs one observer per
+  storage node.  Each server records its *own*
+  :class:`~repro.storage.trace.AccessTrace`, and the obliviousness argument
+  must hold for every node independently
+  (:func:`repro.analysis.server_traces` splits the views back out).
+
+:class:`StorageCluster` is the registry of those servers.  Partition ``i``
+of an N-partition data layer is hosted on server ``i % num_servers``
+(:meth:`StorageCluster.server_for_partition`), so ``num_servers == shards``
+is one-server-per-partition and ``1 < num_servers < shards`` groups several
+partitions per server (each keeping its ``p<i>/`` key namespace on the host).
+
+The cluster itself implements the :class:`~repro.storage.backend.StorageServer`
+interface by delegating to its *metadata server* (server 0): proxy-wide
+durability state — the WAL and the checkpoint chain — lives on one
+designated node, exactly like the paper's single durable store, while ORAM
+bucket traffic goes to each partition's own host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel, link_latency_models
+from repro.storage.backend import BatchResult, StorageServer
+from repro.storage.memory import InMemoryStorageServer
+from repro.storage.trace import AccessTrace, merge_traces
+
+__all__ = ["StorageCluster", "build_storage", "link_latency_models"]
+
+
+class _MergedClusterTrace(AccessTrace):
+    """Merged view of every server's trace that keeps ``clear()`` meaningful.
+
+    The merge itself is a snapshot (recording into it would not reach any
+    server), but ``clear()`` is the one mutation existing code performs on
+    ``proxy.storage.trace`` between experiment phases — forward it to the
+    per-server traces so that idiom keeps working on a cluster.
+    """
+
+    def __init__(self, cluster: "StorageCluster") -> None:
+        super().__init__()
+        self._cluster = cluster
+
+    def clear(self) -> None:
+        """Clear this snapshot *and* every server's underlying trace."""
+        super().clear()
+        self._cluster.clear_traces()
+
+
+class StorageCluster(StorageServer):
+    """M distinct simulated storage servers behind one façade.
+
+    Parameters
+    ----------
+    latency:
+        Backend name or :class:`LatencyModel` shared by every link.
+    num_servers:
+        How many distinct servers the cluster runs (at least 2; a single
+        server is just :class:`InMemoryStorageServer`).
+    clock:
+        Shared simulated clock; every server advances the same clock.
+    record_trace / charge_latency:
+        Forwarded to each server (see :class:`InMemoryStorageServer`).
+    link_extra_rtt_ms:
+        Optional per-link extra round-trip latency (heterogeneous links).
+
+    The :class:`StorageServer` interface (``read_batch`` .. ``keys``)
+    delegates to the metadata server (server 0); address a specific server
+    through :attr:`servers` or :meth:`server_for_partition`.
+    """
+
+    def __init__(self, latency="dummy", num_servers: int = 2,
+                 clock: Optional[SimClock] = None, record_trace: bool = True,
+                 charge_latency: bool = True,
+                 link_extra_rtt_ms: Sequence[float] = ()) -> None:
+        if num_servers < 2:
+            raise ValueError("a StorageCluster needs at least two servers; "
+                             "use InMemoryStorageServer for one")
+        shared_clock = clock if clock is not None else SimClock()
+        self.link_models = link_latency_models(latency, num_servers, link_extra_rtt_ms)
+        self.servers: List[InMemoryStorageServer] = [
+            InMemoryStorageServer(latency=model, clock=shared_clock,
+                                  record_trace=record_trace,
+                                  charge_latency=charge_latency)
+            for model in self.link_models
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    @property
+    def num_servers(self) -> int:
+        """How many distinct storage servers the cluster runs."""
+        return len(self.servers)
+
+    @property
+    def metadata_server(self) -> InMemoryStorageServer:
+        """The server hosting proxy-wide durability state (WAL, checkpoints)."""
+        return self.servers[0]
+
+    def server_index_for_partition(self, partition_index: int) -> int:
+        """Index of the server hosting data-layer partition ``partition_index``."""
+        if partition_index < 0:
+            raise ValueError("partition index cannot be negative")
+        return partition_index % len(self.servers)
+
+    def server_for_partition(self, partition_index: int) -> InMemoryStorageServer:
+        """The server hosting data-layer partition ``partition_index``."""
+        return self.servers[self.server_index_for_partition(partition_index)]
+
+    def link_model_for_partition(self, partition_index: int) -> LatencyModel:
+        """Latency model of the link to ``partition_index``'s host server."""
+        return self.link_models[self.server_index_for_partition(partition_index)]
+
+    # ------------------------------------------------------------------ #
+    # Shared-clock / simulation plumbing (the proxy sets these on whatever
+    # storage object it is handed, single server or cluster alike).
+    # ------------------------------------------------------------------ #
+    @property
+    def clock(self) -> SimClock:
+        """The shared simulated clock every server advances."""
+        return self.servers[0].clock
+
+    @clock.setter
+    def clock(self, value: SimClock) -> None:
+        for server in self.servers:
+            server.clock = value
+
+    @property
+    def charge_latency(self) -> bool:
+        """Whether servers advance the clock themselves (the proxy disables it)."""
+        return self.servers[0].charge_latency
+
+    @charge_latency.setter
+    def charge_latency(self, value: bool) -> None:
+        for server in self.servers:
+            server.charge_latency = value
+
+    def fail(self) -> None:
+        """Inject an outage on every server (whole storage tier unavailable)."""
+        for server in self.servers:
+            server.fail()
+
+    def recover(self) -> None:
+        """Clear a previously injected outage on every server."""
+        for server in self.servers:
+            server.recover()
+
+    # ------------------------------------------------------------------ #
+    # Per-server observability
+    # ------------------------------------------------------------------ #
+    @property
+    def traces(self) -> List[Optional[AccessTrace]]:
+        """Each server's own adversary trace (``None`` when not recorded)."""
+        return [server.trace for server in self.servers]
+
+    @property
+    def trace(self) -> Optional[AccessTrace]:
+        """A merged *snapshot* of every server's trace, ordered by time.
+
+        Useful for whole-deployment diagnostics; the security analysis works
+        on the per-server :attr:`traces` instead (each node's observer sees
+        only its own requests).  Batch boundaries are merged in time order
+        (ids renumbered), recording into the snapshot does not reach any
+        server, and ``.clear()`` on it clears the per-server traces
+        (equivalent to :meth:`clear_traces`), so the single-server idioms
+        ``storage.trace.clear()`` / ``storage.trace.batch_shape()`` keep
+        working.  Each access rebuilds the merge (O(total events) plus the
+        sort) and returns a fresh object — hoist it out of hot loops.
+        """
+        recorded = [trace for trace in self.traces if trace is not None]
+        if not recorded:
+            return None
+        return merge_traces(recorded, into=_MergedClusterTrace(self))
+
+    def clear_traces(self) -> None:
+        """Clear every server's recorded trace (between experiment phases)."""
+        for trace in self.traces:
+            if trace is not None:
+                trace.clear()
+
+    @property
+    def stats_reads(self) -> int:
+        """Total read requests across every server."""
+        return sum(server.stats_reads for server in self.servers)
+
+    @property
+    def stats_writes(self) -> int:
+        """Total write requests across every server."""
+        return sum(server.stats_writes for server in self.servers)
+
+    @property
+    def stats_batches(self) -> int:
+        """Total batches across every server."""
+        return sum(server.stats_batches for server in self.servers)
+
+    def per_server_stats(self) -> List[Dict[str, int]]:
+        """Per-server request counters (``reads``/``writes``/``batches``)."""
+        return [{"reads": server.stats_reads, "writes": server.stats_writes,
+                 "batches": server.stats_batches} for server in self.servers]
+
+    # ------------------------------------------------------------------ #
+    # StorageServer interface — delegated to the metadata server
+    # ------------------------------------------------------------------ #
+    def read_batch(self, keys: Sequence[str], parallelism: int = 1,
+                   record_batch: bool = True) -> BatchResult:
+        """Read from the metadata server (WAL / checkpoint traffic)."""
+        return self.metadata_server.read_batch(keys, parallelism=parallelism,
+                                               record_batch=record_batch)
+
+    def write_batch(self, items: Dict[str, bytes], parallelism: int = 1,
+                    record_batch: bool = True) -> BatchResult:
+        """Write to the metadata server (WAL / checkpoint traffic)."""
+        return self.metadata_server.write_batch(items, parallelism=parallelism,
+                                                record_batch=record_batch)
+
+    def delete_batch(self, keys: Sequence[str], parallelism: int = 1) -> BatchResult:
+        """Delete on the metadata server (checkpoint garbage collection)."""
+        return self.metadata_server.delete_batch(keys, parallelism=parallelism)
+
+    def contains(self, key: str) -> bool:
+        """Whether the metadata server holds ``key``."""
+        return self.metadata_server.contains(key)
+
+    def keys(self) -> List[str]:
+        """The metadata server's keys (see :meth:`all_keys` for every server)."""
+        return self.metadata_server.keys()
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def all_keys(self) -> List[str]:
+        """Every key stored anywhere in the cluster (diagnostic)."""
+        collected: List[str] = []
+        for server in self.servers:
+            collected.extend(server.keys())
+        return collected
+
+    def size_bytes(self) -> int:
+        """Total bytes stored across every server (diagnostic)."""
+        return sum(server.size_bytes() for server in self.servers)
+
+    def snapshot(self) -> List[Dict[str, bytes]]:
+        """Per-server copies of the stored data (recovery-test diffing)."""
+        return [server.snapshot() for server in self.servers]
+
+
+def build_storage(config, clock: Optional[SimClock] = None):
+    """Construct the storage tier an :class:`~repro.core.config.ObladiConfig` asks for.
+
+    ``storage_servers == 1`` (the default, and the only choice for a
+    single-tree proxy) yields one :class:`InMemoryStorageServer` — byte-
+    identical to the historical layout; ``storage_servers > 1`` yields a
+    :class:`StorageCluster` whose servers host the data-layer partitions
+    round-robin.
+    """
+    if config.storage_servers <= 1:
+        return InMemoryStorageServer(latency=config.backend, clock=clock,
+                                     charge_latency=False)
+    return StorageCluster(latency=config.backend, num_servers=config.storage_servers,
+                          clock=clock, charge_latency=False,
+                          link_extra_rtt_ms=config.link_extra_rtt_ms)

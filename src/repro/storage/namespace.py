@@ -1,9 +1,8 @@
-"""Per-partition namespaces over one untrusted storage server.
+"""Per-partition namespaces over an untrusted storage server.
 
-A partitioned Obladi proxy runs N independent Ring ORAM trees against what
-is logically one cloud store.  Each partition addresses storage through a
-:class:`NamespacedStorage` view that prefixes every key with the partition's
-namespace (``p<index>/``), so
+A partitioned Obladi proxy runs N independent Ring ORAM trees.  Each
+partition addresses storage through a :class:`NamespacedStorage` view that
+prefixes every key with the partition's namespace (``p<index>/``), so
 
 * partitions can never collide (each has its own ``oram/...``, bucket
   versions, etc. under its prefix), and
@@ -13,7 +12,17 @@ namespace (``p<index>/``), so
   must therefore hold **per partition**
   (:mod:`repro.analysis.obliviousness` splits traces accordingly).
 
-The view shares the base server's clock, trace and latency model; only the
+Which *server* a namespace lives on is the server-topology knob
+(``ObladiConfig.storage_servers``), orthogonal to the namespacing: in the
+colocated topology every ``p<i>/`` view wraps the one shared store (the
+historical layout), while over a :class:`~repro.storage.cluster.StorageCluster`
+partition ``i``'s view wraps its host server ``i % M`` — several partitions
+may share a host when M < N, and their namespaces keep them apart there
+exactly as they did on a single server.  The prefix is retained even with
+one server per partition so traces, checkpoint components and the analysis
+helpers parse identically across every topology.
+
+The view shares its base server's clock, trace and latency model; only the
 key space is remapped.
 """
 

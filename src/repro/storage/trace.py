@@ -147,16 +147,26 @@ class AccessTrace:
         return sum(e.size_bytes for e in self._events if op is None or e.op == op)
 
 
-def merge_traces(traces: Iterable[AccessTrace]) -> AccessTrace:
+def merge_traces(traces: Iterable[AccessTrace],
+                 into: Optional[AccessTrace] = None) -> AccessTrace:
     """Merge several traces into one, re-sequencing events by time.
 
     Useful when an experiment runs multiple proxies against separate storage
-    servers but the analysis wants a single adversary view.
+    servers but the analysis wants a single adversary view.  Batch
+    boundaries are carried over in time order so ``batch_shape()`` stays
+    meaningful, but their ids are renumbered — events keep the batch id they
+    had in their source trace, so event→batch links are not preserved across
+    traces.  ``into`` lets callers supply the (empty) result instance.
     """
-    merged = AccessTrace()
+    merged = into if into is not None else AccessTrace()
+    all_batches: List[BatchBoundary] = []
     all_events: List[TraceEvent] = []
     for trace in traces:
         all_events.extend(trace.events)
+        all_batches.extend(trace.batches)
+    all_batches.sort(key=lambda b: (b.time_ms, b.batch_id))
+    for batch in all_batches:
+        merged.begin_batch(batch.kind, batch.time_ms, batch.request_count)
     all_events.sort(key=lambda e: (e.time_ms, e.seq))
     for event in all_events:
         merged.record(event.op, event.key, event.size_bytes, event.time_ms, event.batch_id)

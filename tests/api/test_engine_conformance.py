@@ -6,9 +6,11 @@ semantics out.  This is the contract the evaluation harness relies on —
 a Figure-9 row must mean the same thing no matter which engine produced it.
 
 The Obladi engine additionally runs in a *sharded* variant (``shards=4``,
-the partitioned data layer): sharding is an implementation detail of the
-data path and must clear the exact same bar — submission order, RunStats
-math, serializable histories, crash/recover.
+the partitioned data layer) and a *distributed* variant (``shards=4`` over
+four distinct storage servers, one per partition): sharding and server
+topology are implementation details of the data path and must clear the
+exact same bar — submission order, RunStats math, serializable histories,
+crash/recover.
 """
 
 import random
@@ -22,20 +24,29 @@ from repro.core.client import Read, ReadMany, Write
 
 NUM_KEYS = 24
 
-#: (kind, shards) variants the whole suite runs against.
-ENGINE_VARIANTS = [(kind, 1) for kind in ENGINE_KINDS] + [("obladi", 4)]
+#: (kind, shards, storage_servers) variants the whole suite runs against:
+#: the three engines, the sharded-colocated Obladi topology, and the
+#: one-server-per-partition Obladi topology.
+ENGINE_VARIANTS = [(kind, 1, 1) for kind in ENGINE_KINDS] + \
+    [("obladi", 4, 1), ("obladi", 4, 4)]
+
+#: (shards, storage_servers) topologies for the Obladi-specific tests.
+OBLADI_TOPOLOGIES = [(1, 1), (4, 1), (4, 4)]
 
 
 def _variant_id(variant) -> str:
-    kind, shards = variant
+    kind, shards, servers = variant
+    if servers > 1:
+        return f"{kind}-shards{shards}-servers{servers}"
     return f"{kind}-shards{shards}" if shards > 1 else kind
 
 
-def _config(shards: int = 1) -> EngineConfig:
+def _config(shards: int = 1, storage_servers: int = 1) -> EngineConfig:
     return (EngineConfig()
             .with_oram(num_blocks=512, z_real=8, block_size=128)
             .with_batching(read_batches=3, read_batch_size=32, write_batch_size=32)
             .with_sharding(shards)
+            .with_storage_servers(storage_servers)
             .with_durability(False)
             .with_encryption(False)
             .with_seed(3))
@@ -43,8 +54,8 @@ def _config(shards: int = 1) -> EngineConfig:
 
 @pytest.fixture(params=ENGINE_VARIANTS, ids=_variant_id)
 def engine(request) -> TransactionEngine:
-    kind, shards = request.param
-    eng = create_engine(kind, _config(shards))
+    kind, shards, servers = request.param
+    eng = create_engine(kind, _config(shards, servers))
     eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
     return eng
 
@@ -207,9 +218,9 @@ class TestCrashRecovery:
         with pytest.raises(EngineFeatureUnavailable):
             engine.recover()
 
-    @pytest.mark.parametrize("shards", [1, 4])
-    def test_obladi_crash_recover_round_trip(self, shards):
-        eng = create_engine("obladi", _config(shards).with_durability(True))
+    @pytest.mark.parametrize("shards,servers", OBLADI_TOPOLOGIES)
+    def test_obladi_crash_recover_round_trip(self, shards, servers):
+        eng = create_engine("obladi", _config(shards, servers).with_durability(True))
         eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
         assert eng.supports_crash_recovery
         eng.submit(append_program("k1"))
@@ -217,9 +228,9 @@ class TestCrashRecovery:
         eng.recover()
         assert eng.read("k1") == b"0x"
 
-    @pytest.mark.parametrize("shards", [1, 4])
-    def test_recover_preserves_lifetime_stats_and_history(self, shards):
-        eng = create_engine("obladi", _config(shards).with_durability(True))
+    @pytest.mark.parametrize("shards,servers", OBLADI_TOPOLOGIES)
+    def test_recover_preserves_lifetime_stats_and_history(self, shards, servers):
+        eng = create_engine("obladi", _config(shards, servers).with_durability(True))
         eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
         eng.submit(append_program("k1"))
         pre_crash = eng.stats()
@@ -236,9 +247,10 @@ class TestCrashRecovery:
         ok, cycle = check_serializable(eng.committed_history)
         assert ok, cycle
 
-    def test_sharded_recover_restores_every_partition(self):
+    @pytest.mark.parametrize("servers", [1, 4])
+    def test_sharded_recover_restores_every_partition(self, servers):
         """After a crash all partitions come back: every key stays readable."""
-        eng = create_engine("obladi", _config(4).with_durability(True))
+        eng = create_engine("obladi", _config(4, servers).with_durability(True))
         eng.load_initial_data({f"k{i}": str(i).encode() for i in range(NUM_KEYS)})
         partitions = {eng.proxy.data_layer.partition_of(f"k{i}")
                       for i in range(NUM_KEYS)}
@@ -249,6 +261,26 @@ class TestCrashRecovery:
         assert len(eng.proxy.data_layer.partitions) == 4
         assert eng.read("k1") == b"1x"
         for i in range(2, NUM_KEYS):
+            assert eng.read(f"k{i}") == str(i).encode()
+
+    def test_distributed_recover_restores_every_server(self):
+        """Recovery rebuilds partitions hosted on *distinct* servers: the new
+        proxy keeps the same cluster, every server still hosts exactly its
+        partition's namespace, and post-recovery traffic reaches all four."""
+        eng = create_engine("obladi", _config(4, 4).with_durability(True))
+        eng.load_initial_data({f"k{i}": str(i).encode() for i in range(NUM_KEYS)})
+        cluster = eng.proxy.storage
+        eng.submit(append_program("k1"))
+        writes_before = [server.stats_writes for server in cluster.servers]
+        eng.crash()
+        eng.recover()
+        assert eng.proxy.storage is cluster   # the untrusted tier survives
+        for part in eng.proxy.data_layer.partitions:
+            assert part.storage.base is cluster.server_for_partition(part.index)
+        eng.submit(append_program("k2"))      # an epoch touches every server
+        for index, server in enumerate(cluster.servers):
+            assert server.stats_writes > writes_before[index]
+        for i in range(3, NUM_KEYS):
             assert eng.read(f"k{i}") == str(i).encode()
 
 
@@ -271,3 +303,35 @@ class TestShardedStats:
         assert len(stats.partition_physical) == 1
         assert stats.partition_physical[0] == (stats.physical_reads,
                                                stats.physical_writes)
+
+
+class TestServerStats:
+    def test_every_engine_reports_a_server_breakdown(self, engine):
+        engine.submit(append_program("k1"))
+        stats = engine.stats()
+        assert len(stats.server_physical) >= 1
+        assert all(reads >= 0 and writes > 0
+                   for reads, writes in stats.server_physical)
+
+    def test_per_partition_servers_each_observe_their_partition(self):
+        eng = create_engine("obladi", _config(4, 4))
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        eng.run_closed_loop(mixed_source(seed=5), 16, clients=4)
+        stats = eng.stats()
+        assert len(stats.server_physical) == 4
+        # With one server per partition and no durability traffic, each
+        # server's read counter is exactly its partition's ORAM reads.
+        for (server_reads, _), (part_reads, _) in zip(stats.server_physical,
+                                                      stats.partition_physical):
+            assert server_reads == part_reads
+
+    def test_closed_loop_reports_server_deltas(self):
+        eng = create_engine("obladi", _config(4, 2))
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        warmup = eng.run_closed_loop(mixed_source(seed=3), 8, clients=4)
+        run = eng.run_closed_loop(mixed_source(seed=5), 8, clients=4)
+        assert len(warmup.server_physical) == len(run.server_physical) == 2
+        totals = eng.stats().server_physical
+        for index in range(2):
+            assert run.server_physical[index][0] < totals[index][0]
+            assert run.server_physical[index][0] > 0

@@ -1,4 +1,4 @@
-"""Tests for the DataLayer seam: routing, namespacing, parallel timing."""
+"""Tests for the DataLayer seam: routing, namespacing, topology, timing."""
 
 import pytest
 
@@ -7,6 +7,7 @@ from repro.core.proxy import ObladiProxy
 from repro.sharding import (PartitionedDataLayer, SingleOramDataLayer,
                             build_data_layer, key_partition)
 from repro.sim.clock import SimClock
+from repro.storage.cluster import StorageCluster
 from repro.storage.memory import InMemoryStorageServer
 from repro.storage.namespace import NamespacedStorage, partition_prefix
 
@@ -166,3 +167,109 @@ class TestParallelTiming:
         layer.flush()
         for part in layer.partitions:
             assert part.executor.deferred_ms == 0.0
+
+
+def _cluster_layer(shards, servers, **overrides):
+    clock = SimClock()
+    config = _config(shards=shards, storage_servers=servers, **overrides)
+    cluster = StorageCluster(latency=config.backend, num_servers=servers,
+                             clock=clock, charge_latency=False,
+                             link_extra_rtt_ms=config.link_extra_rtt_ms)
+    return build_data_layer(config, storage=cluster, clock=clock,
+                            master_key=b"m" * 32), cluster
+
+
+class TestServerTopology:
+    def test_partitions_are_hosted_round_robin(self):
+        layer, cluster = _cluster_layer(4, 2)
+        for part in layer.partitions:
+            assert part.storage.base is cluster.server_for_partition(part.index)
+            assert part.storage.prefix == partition_prefix(part.index)
+
+    def test_per_partition_namespaces_land_on_their_host_server(self):
+        layer, cluster = _cluster_layer(4, 4)
+        layer.bulk_load({f"k{i}": b"v" for i in range(64)})
+        for index, server in enumerate(cluster.servers):
+            prefixes = {key.split("/", 1)[0] for key in server.keys()}
+            assert prefixes == {f"p{index}"}
+
+    def test_executors_use_their_links_latency_model(self):
+        layer, cluster = _cluster_layer(
+            4, 4, backend="server", link_extra_rtt_ms=(0.0, 5.0, 0.0, 9.0))
+        rtts = [part.executor.latency.read_rtt_ms for part in layer.partitions]
+        assert rtts == pytest.approx([0.3, 5.3, 0.3, 9.3])
+
+    def test_mismatched_cluster_size_rejected(self):
+        clock = SimClock()
+        cluster = StorageCluster(latency="dummy", num_servers=2, clock=clock)
+        with pytest.raises(ValueError, match="cluster"):
+            build_data_layer(_config(shards=4, storage_servers=4),
+                             storage=cluster, clock=clock, master_key=b"m" * 32)
+
+    def test_plain_server_with_multi_server_config_rejected(self):
+        """No silent degrade to colocated: a multi-server config given a
+        single server must fail loudly at the data-layer seam too."""
+        clock = SimClock()
+        storage = InMemoryStorageServer(latency="dummy", clock=clock)
+        with pytest.raises(ValueError, match="StorageCluster"):
+            build_data_layer(_config(shards=4, storage_servers=4),
+                             storage=storage, clock=clock, master_key=b"m" * 32)
+
+    def test_heterogeneous_link_slows_only_its_partitions(self):
+        """A slow link raises the fan-out makespan only when one of *its*
+        partitions has work — per-link cost, not per-tier cost."""
+        layer, _ = _cluster_layer(4, 4, backend="server",
+                                  link_extra_rtt_ms=(0.0, 0.0, 0.0, 50.0))
+        layer.bulk_load({f"k{i}": b"v" for i in range(64)})
+        layer.begin_epoch()
+        start = layer.clock.now_ms
+        layer.execute_read_batch([f"k{i}" for i in range(8)], 16)
+        layer.flush()
+        elapsed = layer.clock.now_ms - start
+        # The padded batches touch every partition each round, so the 50 ms
+        # link dominates the makespan.
+        assert elapsed >= 50.0
+
+
+class TestStaggeredFanout:
+    def test_enough_lanes_charges_the_ideal_parallel_bound(self):
+        layer = _layer(4)   # default parallelism (1024) >= shards
+        layer.bulk_load({f"k{i}": b"v" for i in range(64)})
+        layer.begin_epoch()
+        layer.execute_read_batch([f"k{i}" for i in range(8)], 16)
+        layer.flush()
+        stats = layer.fanout_stats
+        assert stats.staggered_fanouts == 0
+        assert stats.actual_ms == pytest.approx(stats.ideal_ms)
+
+    def test_lane_pressure_staggers_between_the_bounds(self):
+        clock = SimClock()
+        storage = InMemoryStorageServer(latency="server", clock=clock,
+                                        charge_latency=False)
+        config = _config(shards=8, parallelism=4, backend="server",
+                         read_batch_size=32, write_batch_size=32)
+        layer = build_data_layer(config, storage=storage, clock=clock,
+                                 master_key=b"m" * 32)
+        assert config.fanout_lanes == 4
+        layer.bulk_load({f"k{i}": b"v" for i in range(128)})
+        layer.begin_epoch()
+        layer.execute_read_batch([f"k{i}" for i in range(16)], 32)
+        layer.flush()
+        stats = layer.fanout_stats
+        assert stats.staggered_fanouts > 0
+        assert stats.ideal_ms < stats.actual_ms < stats.serial_ms
+
+    def test_fanout_makespan_advances_the_shared_clock(self):
+        clock = SimClock()
+        storage = InMemoryStorageServer(latency="server", clock=clock,
+                                        charge_latency=False)
+        config = _config(shards=8, parallelism=4, backend="server",
+                         read_batch_size=32, write_batch_size=32)
+        layer = build_data_layer(config, storage=storage, clock=clock,
+                                 master_key=b"m" * 32)
+        layer.bulk_load({f"k{i}": b"v" for i in range(128)})
+        layer.begin_epoch()
+        before = clock.now_ms
+        layer.execute_read_batch([f"k{i}" for i in range(16)], 32)
+        actual_before_flush = layer.fanout_stats.actual_ms
+        assert clock.now_ms == pytest.approx(before + actual_before_flush)

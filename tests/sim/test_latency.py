@@ -96,3 +96,20 @@ class TestCpuCostModel:
         cm = CpuCostModel()
         assert cm.sequential_block_cost_ms(False) > 0
         assert cm.parallel_block_cost_ms(False) > 0
+
+
+class TestLinkLatencyModels:
+    def test_homogeneous_links_reuse_the_base_model(self):
+        from repro.sim.latency import link_latency_models
+        models = link_latency_models("server", 4)
+        assert len(models) == 4
+        assert all(model is BACKENDS["server"] for model in models)
+
+    def test_per_link_extra_rtt_and_padding(self):
+        from repro.sim.latency import link_latency_models
+        models = link_latency_models("server", 3, link_extra_rtt_ms=(2.0,))
+        assert models[0].read_rtt_ms == pytest.approx(2.3)
+        assert models[0].name == "server_s0"
+        # Links beyond the provided sequence fall back to the base model.
+        assert models[1] is BACKENDS["server"]
+        assert models[2] is BACKENDS["server"]

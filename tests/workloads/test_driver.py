@@ -41,6 +41,53 @@ class TestDeprecationShim:
                                      total_transactions=4, clients=2)
 
 
+class TestShimForwardsTopologyStats:
+    """The legacy shims delegate to the unified loop, so the new per-server
+    and per-partition breakdowns must come through them unchanged."""
+
+    def _sharded_proxy(self, smallbank, storage_servers):
+        config = ObladiConfig(
+            oram=RingOramConfig(num_blocks=512, z_real=8, block_size=192),
+            read_batches=3, read_batch_size=24, write_batch_size=24,
+            backend="server", durability=False, seed=2, encrypt=False,
+            shards=4, storage_servers=storage_servers,
+        )
+        proxy = ObladiProxy(config)
+        proxy.load_initial_data(smallbank.initial_data())
+        return proxy
+
+    def test_obladi_shim_forwards_per_server_stats(self, smallbank):
+        proxy = self._sharded_proxy(smallbank, storage_servers=4)
+        with pytest.warns(DeprecationWarning):
+            run = run_obladi_closed_loop(proxy, smallbank.transaction_factory,
+                                         total_transactions=12, clients=4)
+        assert len(run.server_physical) == 4
+        assert len(run.partition_physical) == 4
+        # One homogeneous server per partition and no durability traffic:
+        # each server observed exactly its partition's reads.
+        for (server_reads, _), (part_reads, _) in zip(run.server_physical,
+                                                      run.partition_physical):
+            assert server_reads == part_reads
+        assert sum(r for r, _ in run.server_physical) > 0
+
+    def test_obladi_shim_reports_single_server_for_colocated(self, smallbank):
+        proxy = self._sharded_proxy(smallbank, storage_servers=1)
+        with pytest.warns(DeprecationWarning):
+            run = run_obladi_closed_loop(proxy, smallbank.transaction_factory,
+                                         total_transactions=12, clients=4)
+        assert len(run.server_physical) == 1
+        assert run.server_physical[0][0] == run.physical_reads
+
+    def test_baseline_shim_forwards_server_stats(self, smallbank):
+        baseline = NoPrivProxy(backend="server")
+        baseline.load_initial_data(smallbank.initial_data())
+        with pytest.warns(DeprecationWarning):
+            run = run_baseline_closed_loop(baseline, smallbank.transaction_factory,
+                                           total_transactions=12, clients=4)
+        assert len(run.server_physical) == 1
+        assert run.server_physical[0] == (run.physical_reads, run.physical_writes)
+
+
 class TestObladiDriver:
     def test_closed_loop_commits_requested_transactions(self, obladi, smallbank):
         run = run_obladi_closed_loop(obladi, smallbank.transaction_factory,
