@@ -1,5 +1,7 @@
 #!/usr/bin/env python
-"""Docs gate: every exported ``repro.api`` / ``repro.sharding`` symbol is documented.
+"""Docs gate: every exported symbol of the public packages is documented.
+
+Covers ``repro.api``, ``repro.sharding`` and ``repro.proxytier``.
 
 Walks the ``__all__`` of the public packages and fails (exit code 1, listing
 the offenders) if any exported class or function — or any public method of
@@ -18,7 +20,7 @@ import inspect
 import sys
 
 #: Public packages whose exported surface the gate covers.
-PACKAGES = ("repro.api", "repro.sharding")
+PACKAGES = ("repro.api", "repro.sharding", "repro.proxytier")
 
 
 def _missing_in_class(qualname: str, cls: type) -> list:

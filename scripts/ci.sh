@@ -8,7 +8,8 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 # Docs gate: the README/ARCHITECTURE doctest snippets must execute, and
-# every exported repro.api / repro.sharding symbol must carry a docstring.
+# every exported repro.api / repro.sharding / repro.proxytier symbol must
+# carry a docstring.
 echo "== docs gate: doctests + exported-symbol docstrings =="
 python -m doctest docs/ARCHITECTURE.md README.md
 python scripts/check_docstrings.py

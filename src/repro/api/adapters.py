@@ -84,14 +84,16 @@ class ObladiEngine(TransactionEngine):
             latencies_ms=(list(retired.latencies_ms)
                           + [r.latency_ms for r in results if r.committed]),
             results=list(retired.results) + results,
+            cpu_ms=self.cpu_ms(),
             partition_physical=self._partition_physical(),
             server_physical=self.server_io_counters(),
+            worker_ops=self.worker_op_counters(),
         )
 
-    def _partition_physical(self) -> List[Tuple[int, int]]:
-        """Lifetime per-partition I/O: current proxy plus retired proxies."""
-        current = self.proxy.data_layer.per_partition_physical()
-        retired = self._retired.partition_physical
+    @staticmethod
+    def _merge_counters(current: List[Tuple[int, int]],
+                        retired: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        """Entry-wise sum of two (reads, writes) counter lists (ragged ok)."""
         merged = []
         for index in range(max(len(current), len(retired))):
             reads = writes = 0
@@ -101,6 +103,11 @@ class ObladiEngine(TransactionEngine):
                 reads, writes = reads + retired[index][0], writes + retired[index][1]
             merged.append((reads, writes))
         return merged
+
+    def _partition_physical(self) -> List[Tuple[int, int]]:
+        """Lifetime per-partition I/O: current proxy plus retired proxies."""
+        return self._merge_counters(self.proxy.data_layer.per_partition_physical(),
+                                    self._retired.partition_physical)
 
     @property
     def clock(self):
@@ -124,6 +131,20 @@ class ObladiEngine(TransactionEngine):
 
     def partition_io_counters(self) -> List[Tuple[int, int]]:
         return self._partition_physical()
+
+    def worker_op_counters(self) -> List[Tuple[int, int]]:
+        """Lifetime per-proxy-worker CC op counters (sharded proxy tier only).
+
+        Empty for the single-proxy path; merged across proxy incarnations
+        when crash/recover replaced the coordinator.
+        """
+        totals = getattr(self.proxy, "worker_op_totals", None)
+        current = totals() if totals is not None else []
+        return self._merge_counters(current, self._retired.worker_ops)
+
+    def cpu_ms(self) -> float:
+        """Simulated trusted-tier CC CPU charged so far (0 when unpriced)."""
+        return self._retired.cpu_ms + self.proxy.cc_cpu_ms
 
     def server_io_counters(self) -> List[Tuple[int, int]]:
         """Per-storage-server lifetime ``(reads, writes)`` request counters.
@@ -162,14 +183,14 @@ class ObladiEngine(TransactionEngine):
         old_reads, old_writes = old.data_layer.lifetime_physical()
         self._retired.physical_reads += old_reads
         self._retired.physical_writes += old_writes
-        old_partitions = old.data_layer.per_partition_physical()
-        retired_partitions = self._retired.partition_physical
-        for index, (reads, writes) in enumerate(old_partitions):
-            if index < len(retired_partitions):
-                prev_reads, prev_writes = retired_partitions[index]
-                retired_partitions[index] = (prev_reads + reads, prev_writes + writes)
-            else:
-                retired_partitions.append((reads, writes))
+        self._retired.partition_physical = self._merge_counters(
+            old.data_layer.per_partition_physical(),
+            self._retired.partition_physical)
+        old_worker_totals = getattr(old, "worker_op_totals", None)
+        self._retired.worker_ops = self._merge_counters(
+            old_worker_totals() if old_worker_totals is not None else [],
+            self._retired.worker_ops)
+        self._retired.cpu_ms += old.cc_cpu_ms
         self._retired_history.extend(old.committed_history)
 
         recovered, report = recover_proxy(old.storage, old.config,

@@ -148,6 +148,16 @@ class TransactionEngine(abc.ABC):
         """
         return []
 
+    def worker_op_counters(self) -> List[Tuple[int, int]]:
+        """Cumulative per-proxy-worker ``(cc_reads, cc_writes)`` counters.
+
+        One entry per trusted proxy worker for engines whose concurrency
+        control is sharded (``repro.proxytier``): the version-chain reads
+        and version installs each worker's slice performed.  Engines without
+        a sharded proxy tier return an empty list.
+        """
+        return []
+
     def cpu_ms(self) -> float:
         """Cumulative simulated proxy CPU, where the engine models it."""
         return 0.0

@@ -79,6 +79,11 @@ class EngineConfig:
     link_extra_rtt_ms: Optional[tuple] = None
     parallelism: Optional[int] = None
 
+    # Proxy tier (Obladi only): number of trusted proxy workers the MVTSO
+    # version store / version cache are sharded across (1 = the paper's
+    # single proxy; see ``repro.proxytier``).
+    proxy_workers: Optional[int] = None
+
     # Durability / security toggles (Obladi only).
     durability: Optional[bool] = None
     encrypt: Optional[bool] = None
@@ -163,6 +168,19 @@ class EngineConfig:
             config = replace(config, link_extra_rtt_ms=tuple(link_extra_rtt_ms))
         return config
 
+    def with_proxy_workers(self, proxy_workers: int) -> "EngineConfig":
+        """Shard the trusted MVTSO/version-cache tier across N proxy workers.
+
+        ``proxy_workers=1`` is the paper's single proxy (and stays
+        byte-identical to it); larger values route each key's version chain
+        and cached base value to one of N ``ProxyWorker`` slices, charge
+        concurrency-control CPU as parallel worker lanes, and commit each
+        epoch through a cross-worker vote barrier (``repro.proxytier``).
+        Orthogonal to :meth:`with_sharding` (ORAM partitions) and
+        :meth:`with_storage_servers` (untrusted hosts).
+        """
+        return replace(self, proxy_workers=proxy_workers)
+
     def with_parallelism(self, parallelism: int) -> "EngineConfig":
         """Cap the proxy's in-flight physical requests (and fan-out lanes).
 
@@ -208,7 +226,8 @@ class EngineConfig:
         for field_name in ("read_batches", "read_batch_size", "write_batch_size",
                            "batch_interval_ms", "durability", "encrypt",
                            "checkpoint_frequency", "shards", "partition_seed",
-                           "storage_servers", "link_extra_rtt_ms", "parallelism"):
+                           "storage_servers", "link_extra_rtt_ms", "parallelism",
+                           "proxy_workers"):
             value = getattr(self, field_name)
             if value is not None:
                 overrides[field_name] = value
@@ -273,10 +292,10 @@ def create_engine(kind: str,
             engine_config = replace(engine_config, **overrides)
 
     if normalized == "obladi":
-        from repro.core.proxy import ObladiProxy
+        from repro.proxytier import build_proxy
         if obladi_config is None:
             obladi_config = engine_config.to_obladi_config()
-        return ObladiEngine(ObladiProxy(obladi_config, storage=storage, clock=clock))
+        return ObladiEngine(build_proxy(obladi_config, storage=storage, clock=clock))
 
     if normalized == "nopriv":
         from repro.baseline.nopriv import NoPrivProxy

@@ -82,6 +82,7 @@ def run_closed_loop(engine: TransactionEngine, factory_source: FactorySource,
     reads_before, writes_before = engine.io_counters()
     partitions_before = engine.partition_io_counters()
     servers_before = engine.server_io_counters()
+    workers_before = engine.worker_op_counters()
     cpu_before = engine.cpu_ms()
 
     remaining = total_transactions
@@ -122,5 +123,7 @@ def run_closed_loop(engine: TransactionEngine, factory_source: FactorySource,
                                                engine.partition_io_counters())
     stats.server_physical = _counter_deltas(servers_before,
                                             engine.server_io_counters())
+    stats.worker_ops = _counter_deltas(workers_before,
+                                       engine.worker_op_counters())
     stats.cpu_ms = engine.cpu_ms() - cpu_before
     return stats

@@ -58,6 +58,12 @@ class RunStats:
         *node* of the storage tier observed, durability traffic included
         (one entry per server; a colocated topology has exactly one).
         Empty for engines that do not report a server breakdown.
+    worker_ops:
+        Per-proxy-worker ``(cc_reads, cc_writes)`` concurrency-control
+        operation counters for engines whose *trusted* tier is sharded
+        (``repro.proxytier``): the version-chain reads and version installs
+        each worker's slice performed during the run.  Empty for the
+        single-proxy path and the baselines.
     latencies_ms:
         Per-committed-transaction latency samples.  Latency is measured over
         the *committing attempt* (submission of that attempt to its commit),
@@ -85,6 +91,7 @@ class RunStats:
     results: List[TransactionResult] = field(default_factory=list)
     partition_physical: List[Tuple[int, int]] = field(default_factory=list)
     server_physical: List[Tuple[int, int]] = field(default_factory=list)
+    worker_ops: List[Tuple[int, int]] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     # Derived metrics

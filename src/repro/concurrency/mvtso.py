@@ -16,6 +16,11 @@ locking would (paper §6.1).
   uncommitted — registers a write-read dependency; the reader can only
   commit after the writer does, and must abort if the writer aborts
   (cascading abort).
+
+The manager's version store can be sharded across trusted proxy workers
+(:class:`repro.proxytier.ShardedMVTSOManager`, ``docs/ARCHITECTURE.md`` —
+"Distributed proxy tier"): timestamps stay global while chain ownership and
+the commit check move to per-worker slices and an epoch-barrier vote.
 """
 
 from __future__ import annotations
@@ -49,6 +54,12 @@ class MVTSOManager:
         self.transactions: Dict[int, TransactionRecord] = {}
         self.stats_aborts_write_conflict = 0
         self.stats_aborts_cascade = 0
+        # Lifetime operation counters: one version-chain read / one version
+        # install each.  They are the unit the proxy charges concurrency-
+        # control CPU in (``CpuCostModel.cc_op_ms``) and the quantity a
+        # sharded proxy tier (``repro.proxytier``) divides across workers.
+        self.stats_ops_read = 0
+        self.stats_ops_write = 0
 
     # ------------------------------------------------------------------ #
     # Transaction lifecycle
@@ -83,6 +94,7 @@ class MVTSOManager:
         """
         if not txn.is_active:
             raise ValueError(f"transaction {txn.txn_id} is not active")
+        self.stats_ops_read += 1
         chain = self.store.chain(key)
         chain.record_read(txn.timestamp)
         version = chain.latest_visible(txn.timestamp)
@@ -102,6 +114,7 @@ class MVTSOManager:
         """MVTSO write; raises :class:`WriteConflictError` on a late write."""
         if not txn.is_active:
             raise ValueError(f"transaction {txn.txn_id} is not active")
+        self.stats_ops_write += 1
         chain = self.store.chain(key)
         if chain.read_marker_ts > txn.timestamp:
             self.stats_aborts_write_conflict += 1

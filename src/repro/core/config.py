@@ -90,6 +90,16 @@ class ObladiConfig:
     storage_servers: int = 1
     link_extra_rtt_ms: Tuple[float, ...] = ()
 
+    # Proxy tier: how many trusted ``ProxyWorker`` lanes the MVTSO version
+    # store and version cache are sharded across (``repro.proxytier``).  1
+    # (the default) is the paper's single proxy, byte-identical to the seed;
+    # N > 1 hashes application keys over N workers with the same sha256
+    # partition map the data layer uses (perturbed by ``partition_seed``)
+    # and runs their concurrency-control CPU as parallel lanes.  Orthogonal
+    # to ``shards`` (ORAM partitions) and ``storage_servers`` (untrusted
+    # hosts): any combination is valid.
+    proxy_workers: int = 1
+
     # Security toggles (used by ablation benchmarks).
     encrypt: bool = True
     dummiless_writes: bool = True
@@ -124,6 +134,15 @@ class ObladiConfig:
                 f"cannot spread {self.shards} partition(s) over "
                 f"{self.storage_servers} storage servers; "
                 f"storage_servers must not exceed shards")
+        if self.proxy_workers < 1:
+            raise ValueError(
+                f"need at least one proxy worker, got "
+                f"{self.proxy_workers}; proxy_workers shards the *trusted* "
+                f"MVTSO/version-cache tier and is independent of shards "
+                f"(={self.shards}, ORAM partitions of the data layer) and "
+                f"storage_servers (={self.storage_servers}, untrusted "
+                f"hosts) — any combination of the three is valid, but each "
+                f"knob must be >= 1")
 
     # ------------------------------------------------------------------ #
     # Derived quantities
@@ -209,10 +228,12 @@ class ObladiConfig:
         sharding = f"shards={self.shards}, " if self.shards > 1 else ""
         servers = (f"servers={self.storage_servers} ({self.topology}), "
                    if self.storage_servers > 1 else "")
+        workers = (f"proxy_workers={self.proxy_workers}, "
+                   if self.proxy_workers > 1 else "")
         return (
             f"ObladiConfig(R={self.read_batches}, b_read={self.read_batch_size}, "
             f"b_write={self.write_batch_size}, Δ={self.batch_interval_ms}ms, "
-            f"{sharding}{servers}backend={self.backend}, "
+            f"{sharding}{servers}{workers}backend={self.backend}, "
             f"{self.oram.to_parameters().describe()})"
         )
 

@@ -76,6 +76,11 @@ class EpochSummary:
     whole data layer; ``partition_physical`` breaks them down as one
     ``(reads, writes)`` pair per ORAM partition (a single-tree proxy reports
     one pair, so the totals always equal the sum of the breakdown).
+
+    ``worker_ops`` is the trusted-tier analogue for a sharded proxy
+    (``repro.proxytier``): one ``(cc_reads, cc_writes)`` pair of
+    concurrency-control operations per proxy worker for this epoch.  The
+    single-proxy path reports no breakdown (empty tuple).
     """
 
     epoch_id: int
@@ -86,11 +91,13 @@ class EpochSummary:
     physical_reads: int
     physical_writes: int
     partition_physical: tuple = ()
+    worker_ops: tuple = ()
 
     @classmethod
     def from_state(cls, state: EpochState, physical_reads: int,
                    physical_writes: int,
-                   partition_physical: tuple = ()) -> "EpochSummary":
+                   partition_physical: tuple = (),
+                   worker_ops: tuple = ()) -> "EpochSummary":
         return cls(
             epoch_id=state.epoch_id,
             phase=state.phase,
@@ -100,4 +107,5 @@ class EpochSummary:
             physical_reads=physical_reads,
             physical_writes=physical_writes,
             partition_physical=tuple(partition_physical),
+            worker_ops=tuple(worker_ops),
         )

@@ -13,6 +13,12 @@ runnable transaction until it blocks on an ORAM fetch, dispatches read batch
 the blocked transactions in the next round.  Transactions that need more
 rounds than the epoch has read batches — or that find every remaining batch
 full — abort, exactly as in the paper.
+
+Layer context and the request-lifecycle diagram live in
+``docs/ARCHITECTURE.md`` ("Trusted proxy"); the sharded variant of this
+class — the trusted tier split across parallel workers — is
+:class:`repro.proxytier.ProxyCoordinator` ("Distributed proxy tier" in the
+same document).
 """
 
 from __future__ import annotations
@@ -117,6 +123,13 @@ class ObladiProxy:
         self._queue: List[_ActiveTransaction] = []
         self._epoch_counter = 0
         self._crashed = False
+        # Concurrency-control CPU accounting (``CpuCostModel.cc_op_ms``).
+        # The single proxy charges CC work serially; the sharded proxy tier
+        # (:mod:`repro.proxytier`) overrides :meth:`_charge_cc` to divide it
+        # across parallel worker lanes.  With the default cost of 0.0 the
+        # clock is never touched, keeping the seed timings byte-identical.
+        self.cc_cpu_ms = 0.0
+        self._cc_ops_charged = 0
         # Timestamp of the latest committed writer per key, across epochs.
         # Used only to annotate read sets with their version provenance so
         # that committed histories can be checked for serializability.
@@ -230,10 +243,7 @@ class ObladiProxy:
             self.data_layer.execute_read_batch(batch.keys, self.config.read_batch_size)
             state.record_read_batch(batch.keys)
             self._deliver_values(admitted)
-            # Batches are dispatched at fixed intervals; if the batch finished
-            # early the proxy waits for the next boundary.
-            boundary = epoch_start_ms + (round_index + 1) * self.config.batch_interval_ms
-            self.clock.advance_to(boundary)
+            self._finish_round(epoch_start_ms, round_index)
 
         # Give transactions one final chance to consume the last batch's
         # values and issue their remaining writes.
@@ -248,9 +258,48 @@ class ObladiProxy:
         physical_reads = sum(reads for reads, _ in partition_physical)
         physical_writes = sum(writes for _, writes in partition_physical)
         summary = EpochSummary.from_state(state, physical_reads, physical_writes,
-                                          partition_physical=partition_physical)
+                                          partition_physical=partition_physical,
+                                          **self._summary_extras())
         self.epoch_summaries.append(summary)
         return summary
+
+    def _finish_round(self, epoch_start_ms: float, round_index: int) -> None:
+        """Close one read-batch round: charge CC CPU, wait for the boundary.
+
+        Batches are dispatched at fixed intervals; if the round's work (the
+        batch plus the concurrency-control CPU it triggered) finished early
+        the proxy waits for the next boundary, so small CC costs are absorbed
+        by the epoch's fixed shape and only a proxy-CPU-bound configuration
+        stretches the epoch.
+        """
+        self._charge_cc()
+        boundary = epoch_start_ms + (round_index + 1) * self.config.batch_interval_ms
+        self.clock.advance_to(boundary)
+
+    def _charge_cc(self) -> None:
+        """Charge CPU for MVTSO operations performed since the last charge.
+
+        The single proxy runs its concurrency control on one core: the
+        operations are charged serially at ``CpuCostModel.cc_op_ms`` each.
+        The sharded proxy tier overrides this to schedule each worker's
+        share as parallel lanes.  A zero cost (the default) never touches
+        the clock.
+        """
+        cost = self.config.cost_model.cc_op_ms
+        if cost <= 0:
+            return
+        total = self.mvtso.stats_ops_read + self.mvtso.stats_ops_write
+        pending = total - self._cc_ops_charged
+        if pending <= 0:
+            return
+        self._cc_ops_charged = total
+        elapsed = pending * cost
+        self.clock.advance(elapsed)
+        self.cc_cpu_ms += elapsed
+
+    def _summary_extras(self) -> Dict[str, tuple]:
+        """Extra :class:`EpochSummary` fields; the proxy tier adds worker counters."""
+        return {}
 
     def run_until_drained(self, max_epochs: int = 1000) -> List[EpochSummary]:
         """Run epochs until the queue is empty (bounded by ``max_epochs``)."""
@@ -432,6 +481,10 @@ class ObladiProxy:
     # ------------------------------------------------------------------ #
     def _finalize_epoch(self, admitted: List[_ActiveTransaction], state: EpochState) -> None:
         state.phase = EpochPhase.WRITE_BACK
+        # CC work from the final round (writes issued after the last batch
+        # boundary) has no boundary to absorb it; charge it up front so the
+        # commit timestamps below account for it.
+        self._charge_cc()
         now = self.clock.now_ms
 
         # Abort every transaction that is still unfinished (epoch boundary).

@@ -12,6 +12,10 @@ epoch:
 Reads are served from the cache whenever possible; only keys whose base
 value is unknown require an ORAM read batch slot.  At the end of the epoch
 the latest committed version of every written key forms the write batch.
+
+On a sharded proxy tier the cache's base values are owned per worker slice
+(:class:`repro.proxytier.ShardedVersionCache`; ``docs/ARCHITECTURE.md`` —
+"Distributed proxy tier") with unchanged semantics.
 """
 
 from __future__ import annotations

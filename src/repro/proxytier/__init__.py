@@ -1,0 +1,40 @@
+"""Distributed proxy tier: the trusted MVTSO/version-cache layer, sharded.
+
+PRs 2–3 scaled the *untrusted* half of Obladi (partitioned ORAM, distinct
+storage servers); this package scales the *trusted* half.  N
+:class:`ProxyWorker` slices each own a key range of the MVTSO version store
+and the epoch version cache (same sha256 partition map as
+``repro.sharding``), and a :class:`ProxyCoordinator` admits transactions,
+routes every read/write to the owning worker, charges concurrency-control
+CPU as parallel worker lanes on the simulated clock, and runs a lightweight
+2PC over the epoch boundary — every participating worker votes commit/abort
+per transaction — before merging the epoch's batches into the existing
+``DataLayer`` fan-out.
+
+Selected by ``ObladiConfig.proxy_workers`` /
+``EngineConfig.with_proxy_workers(N)``; ``proxy_workers=1`` builds the
+plain :class:`~repro.core.proxy.ObladiProxy` (byte-identical to the seed).
+The physical request schedule is unchanged by worker count, so all
+per-partition and per-server obliviousness properties carry over; the props
+suite asserts exactly that.  See ``docs/ARCHITECTURE.md`` — "Distributed
+proxy tier" — for the worker/coordinator diagram and the commit-protocol
+walkthrough.
+"""
+
+from repro.proxytier.coordinator import (CcLaneStats, ProxyCoordinator,
+                                         build_proxy, worker_for_key)
+from repro.proxytier.sharded import (BarrierStats, ShardedMVTSOManager,
+                                     ShardedVersionCache, ShardedVersionStore)
+from repro.proxytier.worker import ProxyWorker
+
+__all__ = [
+    "ProxyWorker",
+    "ProxyCoordinator",
+    "ShardedMVTSOManager",
+    "ShardedVersionCache",
+    "ShardedVersionStore",
+    "BarrierStats",
+    "CcLaneStats",
+    "build_proxy",
+    "worker_for_key",
+]

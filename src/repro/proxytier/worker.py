@@ -1,0 +1,119 @@
+"""One trusted proxy worker: a key-range slice of MVTSO state and cache.
+
+A :class:`ProxyWorker` owns everything the trusted tier keeps *per key* —
+the MVTSO version chains, the epoch version cache's base values, and the
+(always-cold) cache-side chain store that mirrors the single proxy's
+separate ``VersionCache.store`` — for the slice of the keyspace that hashes
+to it.  Workers do not talk to each other: all routing and cross-worker
+coordination (the epoch-barrier commit protocol) is the
+:class:`~repro.proxytier.coordinator.ProxyCoordinator`'s job, so each
+worker's state is touched only through keys it owns, exactly like an ORAM
+partition is touched only through its own namespace.
+
+See ``docs/ARCHITECTURE.md`` — "Distributed proxy tier" — for how workers
+compose with the data layer's partitions and the storage servers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.concurrency.transaction import TransactionRecord, TransactionStatus
+from repro.concurrency.versions import VersionStore
+
+
+class ProxyWorker:
+    """A trusted concurrency-control lane owning one slice of the keyspace.
+
+    The worker records, per transaction, which uncommitted writers the
+    transaction observed *through this worker's chains* (``txn_deps``).
+    Because every read is routed to exactly one worker, those per-worker
+    dependency sets partition the transaction's global dependency set — the
+    property that makes the epoch barrier's unanimous vote equivalent to the
+    single proxy's global commit check.
+    """
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        #: This worker's slice of the MVTSO version chains.
+        self.mvtso_store = VersionStore()
+        #: This worker's slice of the epoch cache's chain store (the single
+        #: proxy keeps the cache's store distinct from MVTSO's; the sharded
+        #: tier mirrors that structure slice-for-slice).
+        self.cache_store = VersionStore()
+        #: This worker's slice of the epoch cache's base values.
+        self.base_values: Dict[str, Optional[bytes]] = {}
+
+        # Lifetime concurrency-control operation counters.
+        self.stats_reads = 0
+        self.stats_writes = 0
+        self.stats_votes = 0
+
+        # Operations performed since the coordinator last charged CPU; the
+        # coordinator drains this into one schedulable lane duration.
+        self.pending_ops = 0
+
+        # Per-epoch vote bookkeeping.
+        self.txn_deps: Dict[int, Set[int]] = {}
+        self.txn_touched: Set[int] = set()
+
+        #: Simulated CPU this worker's lane has been charged, lifetime.
+        self.cpu_ms = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Operation accounting (called by the sharded MVTSO manager)
+    # ------------------------------------------------------------------ #
+    def note_read(self, txn_id: int, writer_txn_id: Optional[int]) -> None:
+        """Record one version-chain read routed to this worker.
+
+        ``writer_txn_id`` is set when the read observed an uncommitted
+        version: the write-read dependency is then attributed to this worker
+        for the epoch barrier's vote.
+        """
+        self.stats_reads += 1
+        self.pending_ops += 1
+        self.txn_touched.add(txn_id)
+        if writer_txn_id is not None:
+            self.txn_deps.setdefault(txn_id, set()).add(writer_txn_id)
+
+    def note_write(self, txn_id: int) -> None:
+        """Record one version install (or rejected late write) on this worker."""
+        self.stats_writes += 1
+        self.pending_ops += 1
+        self.txn_touched.add(txn_id)
+
+    def take_pending_ops(self) -> int:
+        """Drain and return the operations not yet charged as lane CPU."""
+        pending = self.pending_ops
+        self.pending_ops = 0
+        return pending
+
+    # ------------------------------------------------------------------ #
+    # Epoch barrier
+    # ------------------------------------------------------------------ #
+    def participates(self, txn_id: int) -> bool:
+        """Whether this worker holds any of the transaction's reads/writes."""
+        return txn_id in self.txn_touched
+
+    def vote(self, txn_id: int,
+             transactions: Dict[int, TransactionRecord]) -> bool:
+        """This worker's commit vote for ``txn_id`` (2PC prepare phase).
+
+        The worker votes abort iff some uncommitted writer the transaction
+        observed *through this worker's chains* has aborted — its local
+        fragment of exactly the check
+        :meth:`repro.concurrency.mvtso.MVTSOManager.can_commit` runs
+        globally on the single proxy.
+        """
+        self.stats_votes += 1
+        self.pending_ops += 1
+        for dep_id in self.txn_deps.get(txn_id, ()):
+            dep = transactions.get(dep_id)
+            if dep is not None and dep.status is TransactionStatus.ABORTED:
+                return False
+        return True
+
+    def reset_epoch_state(self) -> None:
+        """Clear per-epoch vote bookkeeping (chains are cleared via the store)."""
+        self.txn_deps.clear()
+        self.txn_touched.clear()

@@ -339,12 +339,17 @@ def recover_proxy(storage: StorageServer, config: ObladiConfig, master_key: byte
 
     Returns ``(proxy, RecoveryResult)``.  ``master_key`` is the persistent
     proxy secret (the only state assumed to survive the crash, along with the
-    trusted epoch counter it protects).
+    trusted epoch counter it protects).  A sharded proxy tier
+    (``config.proxy_workers > 1``) comes back as a fresh coordinator whose
+    workers start with empty epoch state — correct by epoch fate sharing:
+    every worker's MVTSO/cache slice is epoch-scoped, so the durable state
+    each worker serves is exactly what the shared checkpoint chain restores
+    into the data layer below it.
     """
-    from repro.core.proxy import ObladiProxy
+    from repro.proxytier import build_proxy
 
     clock = clock if clock is not None else getattr(storage, "clock", SimClock())
-    proxy = ObladiProxy(config=config, storage=storage, clock=clock, master_key=master_key)
+    proxy = build_proxy(config=config, storage=storage, clock=clock, master_key=master_key)
     manager: RecoveryManager = proxy.recovery
     if manager is None:
         raise ValueError("recovery requires a configuration with durability enabled")

@@ -12,6 +12,10 @@ servers of a :class:`~repro.storage.cluster.StorageCluster`, each link timed
 by its own latency model, and partition-batch fan-out is staggered across
 ``config.fanout_lanes`` lanes when partitions outnumber the proxy's
 parallelism (:class:`FanoutStats` records the bounds).
+
+This package shards the *untrusted* data path; its trusted-tier sibling is
+``repro.proxytier`` (same keyed-sha256 partition map, applied to proxy
+workers).  ``docs/ARCHITECTURE.md`` walks both layers.
 """
 
 from repro.sharding.data_layer import (DataLayer, OramPartition,

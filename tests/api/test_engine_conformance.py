@@ -6,11 +6,12 @@ semantics out.  This is the contract the evaluation harness relies on —
 a Figure-9 row must mean the same thing no matter which engine produced it.
 
 The Obladi engine additionally runs in a *sharded* variant (``shards=4``,
-the partitioned data layer) and a *distributed* variant (``shards=4`` over
-four distinct storage servers, one per partition): sharding and server
-topology are implementation details of the data path and must clear the
-exact same bar — submission order, RunStats math, serializable histories,
-crash/recover.
+the partitioned data layer), a *distributed* variant (``shards=4`` over
+four distinct storage servers, one per partition), and *proxy-tier*
+variants (``proxy_workers=4``, the sharded trusted tier — alone and
+stacked on the distributed topology): sharding, server topology and the
+proxy tier are implementation details and must clear the exact same bar —
+submission order, RunStats math, serializable histories, crash/recover.
 """
 
 import random
@@ -24,29 +25,39 @@ from repro.core.client import Read, ReadMany, Write
 
 NUM_KEYS = 24
 
-#: (kind, shards, storage_servers) variants the whole suite runs against:
-#: the three engines, the sharded-colocated Obladi topology, and the
-#: one-server-per-partition Obladi topology.
-ENGINE_VARIANTS = [(kind, 1, 1) for kind in ENGINE_KINDS] + \
-    [("obladi", 4, 1), ("obladi", 4, 4)]
+#: (kind, shards, storage_servers, proxy_workers) variants the whole suite
+#: runs against: the three engines, the sharded-colocated Obladi topology,
+#: the one-server-per-partition topology, the sharded proxy tier over the
+#: single-tree data path, and the fully stacked deployment.
+ENGINE_VARIANTS = [(kind, 1, 1, 1) for kind in ENGINE_KINDS] + \
+    [("obladi", 4, 1, 1), ("obladi", 4, 4, 1),
+     ("obladi", 1, 1, 4), ("obladi", 4, 4, 4)]
 
-#: (shards, storage_servers) topologies for the Obladi-specific tests.
-OBLADI_TOPOLOGIES = [(1, 1), (4, 1), (4, 4)]
+#: (shards, storage_servers, proxy_workers) topologies for the
+#: Obladi-specific tests (crash/recover runs against every one).
+OBLADI_TOPOLOGIES = [(1, 1, 1), (4, 1, 1), (4, 4, 1), (1, 1, 4), (4, 4, 4)]
 
 
 def _variant_id(variant) -> str:
-    kind, shards, servers = variant
+    kind, shards, servers, workers = variant
+    parts = [kind]
+    if shards > 1:
+        parts.append(f"shards{shards}")
     if servers > 1:
-        return f"{kind}-shards{shards}-servers{servers}"
-    return f"{kind}-shards{shards}" if shards > 1 else kind
+        parts.append(f"servers{servers}")
+    if workers > 1:
+        parts.append(f"workers{workers}")
+    return "-".join(parts)
 
 
-def _config(shards: int = 1, storage_servers: int = 1) -> EngineConfig:
+def _config(shards: int = 1, storage_servers: int = 1,
+            proxy_workers: int = 1) -> EngineConfig:
     return (EngineConfig()
             .with_oram(num_blocks=512, z_real=8, block_size=128)
             .with_batching(read_batches=3, read_batch_size=32, write_batch_size=32)
             .with_sharding(shards)
             .with_storage_servers(storage_servers)
+            .with_proxy_workers(proxy_workers)
             .with_durability(False)
             .with_encryption(False)
             .with_seed(3))
@@ -54,8 +65,8 @@ def _config(shards: int = 1, storage_servers: int = 1) -> EngineConfig:
 
 @pytest.fixture(params=ENGINE_VARIANTS, ids=_variant_id)
 def engine(request) -> TransactionEngine:
-    kind, shards, servers = request.param
-    eng = create_engine(kind, _config(shards, servers))
+    kind, shards, servers, workers = request.param
+    eng = create_engine(kind, _config(shards, servers, workers))
     eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
     return eng
 
@@ -218,9 +229,10 @@ class TestCrashRecovery:
         with pytest.raises(EngineFeatureUnavailable):
             engine.recover()
 
-    @pytest.mark.parametrize("shards,servers", OBLADI_TOPOLOGIES)
-    def test_obladi_crash_recover_round_trip(self, shards, servers):
-        eng = create_engine("obladi", _config(shards, servers).with_durability(True))
+    @pytest.mark.parametrize("shards,servers,workers", OBLADI_TOPOLOGIES)
+    def test_obladi_crash_recover_round_trip(self, shards, servers, workers):
+        eng = create_engine("obladi",
+                            _config(shards, servers, workers).with_durability(True))
         eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
         assert eng.supports_crash_recovery
         eng.submit(append_program("k1"))
@@ -228,9 +240,11 @@ class TestCrashRecovery:
         eng.recover()
         assert eng.read("k1") == b"0x"
 
-    @pytest.mark.parametrize("shards,servers", OBLADI_TOPOLOGIES)
-    def test_recover_preserves_lifetime_stats_and_history(self, shards, servers):
-        eng = create_engine("obladi", _config(shards, servers).with_durability(True))
+    @pytest.mark.parametrize("shards,servers,workers", OBLADI_TOPOLOGIES)
+    def test_recover_preserves_lifetime_stats_and_history(self, shards, servers,
+                                                          workers):
+        eng = create_engine("obladi",
+                            _config(shards, servers, workers).with_durability(True))
         eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
         eng.submit(append_program("k1"))
         pre_crash = eng.stats()
@@ -335,3 +349,65 @@ class TestServerStats:
         for index in range(2):
             assert run.server_physical[index][0] < totals[index][0]
             assert run.server_physical[index][0] > 0
+
+
+class TestProxyTierStats:
+    """The sharded trusted tier's per-worker counters and its equivalence
+    guarantee: worker count is invisible to clients (identical results and
+    simulated timing at the default, unpriced CC cost)."""
+
+    def test_worker_breakdown_reported_and_nonempty(self):
+        eng = create_engine("obladi", _config(proxy_workers=4))
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        run = eng.run_closed_loop(mixed_source(seed=5), 16, clients=4)
+        assert len(run.worker_ops) == 4
+        assert sum(reads for reads, _ in run.worker_ops) > 0
+        totals = eng.stats().worker_ops
+        assert len(totals) == 4
+        for (run_reads, run_writes), (total_reads, total_writes) in zip(
+                run.worker_ops, totals):
+            assert 0 <= run_reads <= total_reads
+            assert 0 <= run_writes <= total_writes
+
+    def test_single_proxy_reports_no_worker_breakdown(self):
+        eng = create_engine("obladi", _config())
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        run = eng.run_closed_loop(mixed_source(seed=5), 8, clients=4)
+        assert run.worker_ops == []
+        assert eng.stats().worker_ops == []
+
+    def test_worker_count_is_client_invisible(self):
+        """proxy_workers=4 must be behavior-identical to the single proxy:
+        same commit/abort outcomes, same final state, same simulated time."""
+        runs = {}
+        for workers in (1, 4):
+            eng = create_engine("obladi", _config(proxy_workers=workers))
+            eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+            stats = eng.run_closed_loop(mixed_source(seed=11), 24, clients=8)
+            state = tuple(eng.read(f"k{i}") for i in range(NUM_KEYS))
+            runs[workers] = (stats.committed, stats.aborted, stats.elapsed_ms,
+                             tuple(stats.latencies_ms), state)
+        assert runs[1] == runs[4]
+
+    def test_epoch_summaries_carry_worker_ops(self):
+        eng = create_engine("obladi", _config(proxy_workers=4))
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        eng.submit(append_program("k1"))
+        summary = eng.proxy.epoch_summaries[-1]
+        assert len(summary.worker_ops) == 4
+        assert sum(reads for reads, _ in summary.worker_ops) > 0
+
+    def test_recover_preserves_worker_counters(self):
+        eng = create_engine("obladi",
+                            _config(proxy_workers=4).with_durability(True))
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        eng.submit(append_program("k1"))
+        before = eng.worker_op_counters()
+        assert sum(reads for reads, _ in before) > 0
+        eng.crash()
+        eng.recover()
+        assert len(eng.proxy.workers) == 4
+        assert eng.worker_op_counters() == before   # retired proxy's work kept
+        eng.submit(append_program("k2"))
+        after = eng.worker_op_counters()
+        assert sum(reads for reads, _ in after) > sum(reads for reads, _ in before)

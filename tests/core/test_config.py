@@ -80,3 +80,56 @@ class TestWorkloadPresets:
         oram = RingOramConfig(num_blocks=50, z_real=4)
         config = ObladiConfig.for_workload("smallbank", oram=oram)
         assert config.oram.num_blocks == 50
+
+
+class TestProxyWorkersConfig:
+    """Validation matrix for the proxy-tier knob (``proxy_workers``)."""
+
+    def test_default_is_single_proxy(self):
+        assert ObladiConfig().proxy_workers == 1
+
+    @pytest.mark.parametrize("workers", [0, -1, -7])
+    def test_non_positive_worker_counts_rejected(self, workers):
+        with pytest.raises(ValueError):
+            ObladiConfig(proxy_workers=workers)
+
+    def test_error_message_documents_knob_interactions(self):
+        """The rejection explains how proxy_workers relates to shards and
+        storage_servers (it is orthogonal to both)."""
+        with pytest.raises(ValueError) as excinfo:
+            ObladiConfig(proxy_workers=0, shards=4, storage_servers=2)
+        message = str(excinfo.value)
+        assert "proxy worker" in message
+        assert "shards" in message and "storage_servers" in message
+        assert "independent" in message
+
+    @pytest.mark.parametrize("workers,shards,servers", [
+        (1, 1, 1), (4, 1, 1), (2, 4, 1), (4, 4, 4), (8, 2, 2), (3, 8, 4),
+    ])
+    def test_workers_orthogonal_to_data_topology(self, workers, shards, servers):
+        config = ObladiConfig(proxy_workers=workers, shards=shards,
+                              storage_servers=servers)
+        assert config.proxy_workers == workers
+        assert config.shards == shards
+        assert config.storage_servers == servers
+
+    def test_data_topology_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            ObladiConfig(proxy_workers=4, shards=2, storage_servers=4)
+
+    def test_describe_mentions_workers_only_when_sharded(self):
+        assert "proxy_workers" not in ObladiConfig().describe()
+        assert "proxy_workers=4" in ObladiConfig(proxy_workers=4).describe()
+
+    def test_engine_config_round_trip(self):
+        from repro.api import EngineConfig
+        resolved = (EngineConfig().with_workload("smallbank")
+                    .with_proxy_workers(4).to_obladi_config())
+        assert resolved.proxy_workers == 4
+        # None (the default) keeps the system default of 1.
+        assert EngineConfig().to_obladi_config().proxy_workers == 1
+
+    def test_engine_config_invalid_worker_count_surfaces_at_resolution(self):
+        from repro.api import EngineConfig
+        with pytest.raises(ValueError):
+            EngineConfig().with_proxy_workers(0).to_obladi_config()

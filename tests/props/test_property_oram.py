@@ -119,14 +119,17 @@ class TestOramProperties:
 SHARDS = 4
 
 
-def build_sharded_proxy(seed=13, shards=SHARDS, storage_servers=1):
+def build_sharded_proxy(seed=13, shards=SHARDS, storage_servers=1,
+                        proxy_workers=1):
+    from repro.proxytier import build_proxy
     config = ObladiConfig(
         oram=RingOramConfig(num_blocks=256, z_real=4, block_size=64),
         read_batches=2, read_batch_size=16, write_batch_size=16,
         backend="dummy", durability=False, encrypt=False,
         shards=shards, storage_servers=storage_servers, seed=seed,
+        proxy_workers=proxy_workers,
     )
-    proxy = ObladiProxy(config)
+    proxy = build_proxy(config)
     proxy.load_initial_data({f"k{i}": bytes([i % 251]) for i in range(64)})
     return proxy
 
@@ -325,6 +328,72 @@ class TestPerServerObliviousness:
         for partition in direct:
             assert views[0][partition].keys_accessed() == \
                 direct[partition].keys_accessed()
+
+
+class TestProxyTierObliviousness:
+    """Sharding the *trusted* tier (``proxy_workers``) must not perturb the
+    physical schedule at all: per-worker read scheduling happens strictly
+    above the batch quotas, so the padded per-partition/per-server batches —
+    and therefore every obliviousness property asserted above — are exactly
+    those of the single-proxy deployment."""
+
+    def _trace_fingerprint(self, trace):
+        return ([(event.op, event.key, event.batch_id) for event in trace.events],
+                [(batch.kind, batch.request_count) for batch in trace.batches])
+
+    def test_physical_schedule_identical_to_single_proxy(self):
+        """Same seed, same workload: the adversary's full view (request
+        sequence, batch boundaries and shapes) is byte-identical whether the
+        trusted tier runs 1 worker or 4."""
+        single = build_sharded_proxy(proxy_workers=1)
+        sharded = build_sharded_proxy(proxy_workers=4)
+        single.storage.trace.clear()
+        sharded.storage.trace.clear()
+        run_sharded_workload(single, lambda rng: f"k{rng.randrange(64)}")
+        run_sharded_workload(sharded, lambda rng: f"k{rng.randrange(64)}")
+        assert self._trace_fingerprint(sharded.storage.trace) == \
+            self._trace_fingerprint(single.storage.trace)
+
+    def test_per_partition_views_stay_workload_independent(self):
+        """Uniform vs hot-key workloads under proxy_workers=4: every ORAM
+        partition's view still passes the same indistinguishability bar the
+        single-proxy deployment is held to."""
+        proxy_a = build_sharded_proxy(proxy_workers=4)
+        proxy_b = build_sharded_proxy(proxy_workers=4)
+        proxy_a.storage.trace.clear()
+        proxy_b.storage.trace.clear()
+        run_sharded_workload(proxy_a, lambda rng: f"k{rng.randrange(64)}")
+        run_sharded_workload(proxy_b, lambda rng: f"k{rng.randrange(4)}")
+        depth = proxy_a.oram.params.depth
+        distances = partition_trace_similarity(proxy_a.storage.trace,
+                                               proxy_b.storage.trace, depth)
+        assert set(distances) == set(range(SHARDS))
+        for index, distance in distances.items():
+            assert distance < 0.35, (
+                f"partition {index} leaks under proxy_workers=4: "
+                f"TV distance {distance:.3f}")
+        assert check_bucket_invariant(proxy_a.storage.trace) == []
+
+    def test_per_server_views_stay_workload_independent(self):
+        """The fully stacked deployment (workers × partitions × servers):
+        each storage node's own observer still sees a workload-independent
+        trace."""
+        proxy_a = build_sharded_proxy(proxy_workers=4, storage_servers=SHARDS)
+        proxy_b = build_sharded_proxy(proxy_workers=4, storage_servers=SHARDS)
+        proxy_a.storage.clear_traces()
+        proxy_b.storage.clear_traces()
+        run_sharded_workload(proxy_a, lambda rng: f"k{rng.randrange(64)}")
+        run_sharded_workload(proxy_b, lambda rng: f"k{rng.randrange(4)}")
+        depth = proxy_a.oram.params.depth
+        views_a = server_partition_traces(proxy_a.storage)
+        views_b = server_partition_traces(proxy_b.storage)
+        assert set(views_a) == set(views_b) == set(range(SHARDS))
+        for server in range(SHARDS):
+            distance = trace_similarity(views_a[server][server],
+                                        views_b[server][server], depth)
+            assert distance < 0.35, (
+                f"server {server} leaks under proxy_workers=4: "
+                f"TV distance {distance:.3f}")
 
 
 class TestCryptoProperties:
