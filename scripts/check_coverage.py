@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Coverage floor gate for the engine layer (``src/repro/api``).
+
+The conformance and loop-driver suites exist to pin the ``repro.api``
+surface down; this gate makes that claim checkable.  After a
+``pytest --cov=repro`` run has produced a ``.coverage`` data file, it
+reports line coverage restricted to ``src/repro/api/`` and fails (exit
+code 1) below the floor.
+
+The gate degrades gracefully: when the ``coverage`` package is not
+installed (the tier-1 suite only requires the standard library plus
+pytest), it prints a notice and exits 0 — ``scripts/ci.sh`` only invokes
+it after a coverage-enabled pytest run.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m pytest -q --cov=repro
+    python scripts/check_coverage.py --min-api 85
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import os
+import sys
+
+#: The package the floor applies to, as a ``coverage report`` include glob.
+API_INCLUDE = "*/repro/api/*"
+DEFAULT_FLOOR = 85.0
+
+
+def main(argv=None) -> int:
+    """Enforce the ``src/repro/api`` coverage floor; return the exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--min-api", type=float, default=DEFAULT_FLOOR,
+                        help=f"minimum line coverage percent for src/repro/api "
+                             f"(default {DEFAULT_FLOOR})")
+    parser.add_argument("--data-file", default=".coverage",
+                        help="coverage data file produced by pytest --cov")
+    args = parser.parse_args(argv)
+
+    try:
+        import coverage
+    except ImportError:
+        print("check_coverage: the 'coverage' package is not installed; "
+              "skipping the src/repro/api floor gate")
+        return 0
+
+    if not os.path.exists(args.data_file):
+        print(f"check_coverage: no {args.data_file!r} data file found — run "
+              f"'python -m pytest --cov=repro' first")
+        return 1
+
+    cov = coverage.Coverage(data_file=args.data_file)
+    cov.load()
+    buffer = io.StringIO()
+    try:
+        percent = cov.report(include=API_INCLUDE, file=buffer,
+                             show_missing=False)
+    except coverage.exceptions.NoDataError:
+        print("check_coverage: the coverage data contains nothing under "
+              f"{API_INCLUDE!r}")
+        return 1
+    print(buffer.getvalue().rstrip())
+    if percent < args.min_api:
+        print(f"check_coverage: src/repro/api line coverage {percent:.1f}% "
+              f"is below the floor of {args.min_api:.1f}%")
+        return 1
+    print(f"check_coverage: OK — src/repro/api at {percent:.1f}% "
+          f"(floor {args.min_api:.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

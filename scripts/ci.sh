@@ -20,4 +20,14 @@ echo "== smoke: Figure 9 end-to-end across all three engines =="
 python -m pytest -q benchmarks/test_fig9_end_to_end.py -k smoke
 
 echo "== tier-1: unit, property, integration and benchmark suites =="
-python -m pytest -x -q
+# With pytest-cov available the tier-1 run doubles as the coverage run, and
+# a floor is enforced on src/repro/api — the layer the conformance and
+# loop-driver suites are supposed to pin down.  Without it (the tier-1
+# dependencies are stdlib + pytest only) the suite runs uninstrumented.
+if python -c "import pytest_cov" 2>/dev/null; then
+    python -m pytest -x -q --cov=repro
+    python scripts/check_coverage.py --min-api 85
+else
+    echo "(pytest-cov not installed; running without the coverage gate)"
+    python -m pytest -x -q
+fi

@@ -12,7 +12,13 @@ NoPriv and a MySQL-like store.  This package is that idea as an API:
   :class:`~repro.api.factory.EngineConfig` — construction;
 * :func:`~repro.api.loop.run_closed_loop` and
   :class:`~repro.api.loop.RetryPolicy` — the single shared closed-loop
-  driver with its retry/backoff policy.
+  driver with its retry/backoff policy;
+* :func:`~repro.api.openloop.run_open_loop` with its pluggable
+  :class:`~repro.api.openloop.ArrivalProcess`es
+  (:class:`~repro.api.openloop.DeterministicArrivals`,
+  :class:`~repro.api.openloop.PoissonArrivals`) — the open-loop driver:
+  offered load through a bounded admission queue into batched waves, with
+  queueing delay measured separately from service latency.
 
 Every future scaling direction (sharded proxies, alternate storage
 backends, async batching) plugs in by implementing ``TransactionEngine``
@@ -25,6 +31,8 @@ from repro.api.engine import (EngineFeatureUnavailable, FactorySource,
                               ProgramFactory, TransactionEngine)
 from repro.api.factory import ENGINE_KINDS, EngineConfig, create_engine
 from repro.api.loop import DEFAULT_RETRY_POLICY, RetryPolicy, run_closed_loop
+from repro.api.openloop import (ArrivalProcess, DeterministicArrivals,
+                                PoissonArrivals, run_open_loop)
 from repro.api.results import RunStats
 
 __all__ = [
@@ -35,6 +43,10 @@ __all__ = [
     "create_engine",
     "ENGINE_KINDS",
     "run_closed_loop",
+    "run_open_loop",
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "PoissonArrivals",
     "RetryPolicy",
     "DEFAULT_RETRY_POLICY",
     "ObladiEngine",

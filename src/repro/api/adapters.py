@@ -68,6 +68,25 @@ class ObladiEngine(TransactionEngine):
                          if r.epoch == summary.epoch_id]
         return sorted(epoch_results, key=lambda r: r.txn_id)
 
+    def open_loop_wave_limit(self) -> int:
+        """One open-loop wave is one epoch: pipeline a full epoch batch.
+
+        The epoch's read batch capacity (``b_read``) is how many concurrent
+        first-round fetches an epoch can serve, so it is the natural
+        admission size — waves larger than it would only convert queueing
+        delay into batch-full aborts.
+        """
+        return max(1, self.proxy.config.read_batch_size)
+
+    def record_open_loop_wave(self, queue_depth: int, dropped: int) -> None:
+        """Mirror the wave's admission-queue counters into its epoch summary."""
+        if not self.proxy.epoch_summaries:
+            return
+        from dataclasses import replace
+        self.proxy.epoch_summaries[-1] = replace(self.proxy.epoch_summaries[-1],
+                                                 queue_depth=queue_depth,
+                                                 arrivals_dropped=dropped)
+
     # -- introspection -------------------------------------------------- #
     def stats(self) -> RunStats:
         results = list(self.proxy.results.values())
@@ -195,6 +214,16 @@ class ObladiEngine(TransactionEngine):
 
         recovered, report = recover_proxy(old.storage, old.config,
                                           master_key=old.master_key)
+        # The engine's lifetime history spans proxy incarnations, so the new
+        # proxy must *extend* the old serialization order, not restart it:
+        # MVTSO timestamps define the multiversion order (and txn ids name
+        # serialization-graph nodes), and the version-provenance map lets
+        # post-crash reads of pre-crash values name their true writer.  In a
+        # real deployment both ride the durable checkpoint with the epoch
+        # counter; the simulation carries them across directly.
+        recovered.mvtso.fast_forward(old.mvtso.next_timestamp,
+                                     old.mvtso.next_txn_id)
+        recovered._last_writer_ts.update(old._last_writer_ts)
         self.proxy = recovered
         return report
 

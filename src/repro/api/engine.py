@@ -110,6 +110,53 @@ class TransactionEngine(abc.ABC):
                                max_batches=max_batches)
 
     # ------------------------------------------------------------------ #
+    # Open-loop execution
+    # ------------------------------------------------------------------ #
+    def run_open_loop(self, factory_source: FactorySource, total_transactions: int,
+                      arrivals=None, clients: int = 32,
+                      queue_limit: Optional[int] = None, max_retries: int = 2,
+                      max_waves: int = 100_000):
+        """Offer ``total_transactions`` open loop and return a ``RunStats``.
+
+        Arrivals follow ``arrivals`` — an
+        :class:`~repro.api.openloop.ArrivalProcess`, a rate in transactions
+        per simulated second (:class:`~repro.api.openloop.DeterministicArrivals`),
+        or ``None`` for unbounded offered load — and pass through a bounded
+        admission queue (``queue_limit``; full = arrival dropped) before
+        being dispatched in batched ``submit_many`` waves of at most
+        ``min(clients, open_loop_wave_limit())`` programs.  All engines
+        share one driver (:func:`repro.api.openloop.run_open_loop`), just as
+        they share the closed loop.
+        """
+        from repro.api.openloop import run_open_loop
+        return run_open_loop(self, factory_source, total_transactions,
+                             arrivals=arrivals, clients=clients,
+                             queue_limit=queue_limit, max_retries=max_retries,
+                             max_waves=max_waves)
+
+    def open_loop_wave_limit(self) -> Optional[int]:
+        """Engine-specific cap on one open-loop wave's size, or ``None``.
+
+        ``None`` (the default) means the engine has no batching cadence of
+        its own: the open loop drains the admission queue up to ``clients``
+        per wave — right for the baselines, whose discrete-event executors
+        take any number of concurrent slots.  Engines with a natural batch
+        shape override this; the Obladi adapter returns its epoch's read
+        batch capacity so each wave pipelines one full epoch.
+        """
+        return None
+
+    def record_open_loop_wave(self, queue_depth: int, dropped: int) -> None:
+        """Hook: one open-loop wave was dispatched; mirror queue counters.
+
+        ``queue_depth`` is the admission-queue backlog left behind after the
+        wave was drawn, ``dropped`` the run's cumulative dropped arrivals.
+        The default is a no-op; the Obladi adapter mirrors both into the
+        epoch's :class:`~repro.core.epoch.EpochSummary`, since for that
+        engine one wave is exactly one epoch.
+        """
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @abc.abstractmethod

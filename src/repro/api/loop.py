@@ -27,6 +27,51 @@ from repro.api.results import RunStats
 
 
 @dataclass(frozen=True)
+class CounterBaseline:
+    """Engine counter snapshot taken when a load-generation driver starts.
+
+    Both drivers (:func:`run_closed_loop` here and
+    :func:`repro.api.openloop.run_open_loop`) report *per-run deltas* of the
+    engine's lifetime counters; this captures the "before" side once and
+    :meth:`finalize` writes every delta into a ``RunStats``, so a counter
+    added to the engine surface (as each topology PR has done) is wired in
+    exactly one place.
+    """
+
+    start_ms: float
+    io: Tuple[int, int]
+    partitions: List[Tuple[int, int]]
+    servers: List[Tuple[int, int]]
+    workers: List[Tuple[int, int]]
+    cpu_ms: float
+
+    @classmethod
+    def capture(cls, engine: TransactionEngine) -> "CounterBaseline":
+        """Snapshot ``engine``'s clock and cumulative counters."""
+        return cls(start_ms=engine.clock.now_ms,
+                   io=engine.io_counters(),
+                   partitions=engine.partition_io_counters(),
+                   servers=engine.server_io_counters(),
+                   workers=engine.worker_op_counters(),
+                   cpu_ms=engine.cpu_ms())
+
+    def finalize(self, stats: RunStats, engine: TransactionEngine) -> RunStats:
+        """Fill ``stats`` with the elapsed time and counter deltas since capture."""
+        stats.elapsed_ms = engine.clock.now_ms - self.start_ms
+        reads_after, writes_after = engine.io_counters()
+        stats.physical_reads = reads_after - self.io[0]
+        stats.physical_writes = writes_after - self.io[1]
+        stats.partition_physical = _counter_deltas(self.partitions,
+                                                   engine.partition_io_counters())
+        stats.server_physical = _counter_deltas(self.servers,
+                                                engine.server_io_counters())
+        stats.worker_ops = _counter_deltas(self.workers,
+                                           engine.worker_op_counters())
+        stats.cpu_ms = engine.cpu_ms() - self.cpu_ms
+        return stats
+
+
+@dataclass(frozen=True)
 class RetryPolicy:
     """Backoff applied when an aborted transaction is re-submitted.
 
@@ -78,12 +123,7 @@ def run_closed_loop(engine: TransactionEngine, factory_source: FactorySource,
     transaction to finish).
     """
     stats = RunStats(engine=engine.name)
-    start_ms = engine.clock.now_ms
-    reads_before, writes_before = engine.io_counters()
-    partitions_before = engine.partition_io_counters()
-    servers_before = engine.server_io_counters()
-    workers_before = engine.worker_op_counters()
-    cpu_before = engine.cpu_ms()
+    baseline = CounterBaseline.capture(engine)
 
     remaining = total_transactions
     # Attempt counts travel with their factory; keying a dict by id(factory)
@@ -115,15 +155,4 @@ def run_closed_loop(engine: TransactionEngine, factory_source: FactorySource,
                     retry_pool.append((factory, attempts + 1))
                     stats.retries += 1
 
-    stats.elapsed_ms = engine.clock.now_ms - start_ms
-    reads_after, writes_after = engine.io_counters()
-    stats.physical_reads = reads_after - reads_before
-    stats.physical_writes = writes_after - writes_before
-    stats.partition_physical = _counter_deltas(partitions_before,
-                                               engine.partition_io_counters())
-    stats.server_physical = _counter_deltas(servers_before,
-                                            engine.server_io_counters())
-    stats.worker_ops = _counter_deltas(workers_before,
-                                       engine.worker_op_counters())
-    stats.cpu_ms = engine.cpu_ms() - cpu_before
-    return stats
+    return baseline.finalize(stats, engine)

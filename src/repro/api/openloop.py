@@ -1,0 +1,238 @@
+"""The shared open-loop load generator.
+
+:func:`run_closed_loop` measures "N clients in lockstep": a new transaction
+is drawn only when a slot frees up, so the system is never offered more work
+than it can absorb and queueing is invisible.  The paper's latency/throughput
+trade-off (Figure 9) and epoch-size sensitivity (Figure 10) are statements
+about *offered load* — how the system behaves as arrivals approach and pass
+its service capacity — which only an open loop can express.
+
+:func:`run_open_loop` is that second driver, shared by every
+:class:`~repro.api.engine.TransactionEngine` exactly like the closed loop:
+
+* an :class:`ArrivalProcess` (:class:`DeterministicArrivals` or seeded
+  :class:`PoissonArrivals`) generates arrival instants on the engine's
+  :class:`~repro.sim.clock.SimClock`, independent of how fast the engine is
+  serving;
+* arrivals are admitted into a bounded admission queue (``queue_limit``);
+  an arrival that finds the queue full is *dropped* and counted, never
+  executed;
+* queued work is drained in batched ``submit_many`` waves sized to the
+  engine (:meth:`~repro.api.engine.TransactionEngine.open_loop_wave_limit`:
+  the Obladi proxy pipelines full epoch read batches, the baselines drain
+  whatever is queued up to ``clients``);
+* queueing delay (arrival/re-queue to wave dispatch) is recorded separately
+  from service latency, so :class:`~repro.api.results.RunStats` can report
+  offered vs achieved throughput and queue-inclusive latency percentiles.
+
+Retry semantics mirror the closed loop: an aborted attempt re-enters a
+retry pool that is served ahead of fresh arrivals (retries are already
+admitted, so they bypass the queue bound), up to ``max_retries`` times.
+With unbounded arrivals (``arrivals=None``) and ``clients=1`` the wave
+schedule degenerates to the closed loop's, which the conformance suite pins
+as an invariant.
+
+One boundary rule matters enough to state: an arrival whose instant lands
+*exactly* on a wave boundary (``arrival_ms == clock.now_ms`` when admission
+runs) belongs to that wave, and to that wave only — each arrival is drawn
+from the process exactly once and enqueued at most once, so it can never be
+double-admitted, and the inclusive comparison means it is never skipped
+either (``tests/api/test_loop.py`` pins both directions).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Optional, Tuple, Union
+
+from repro.api.engine import FactorySource, ProgramFactory, TransactionEngine
+from repro.api.results import RunStats
+
+
+class ArrivalProcess:
+    """A pluggable arrival process: a stream of inter-arrival gaps.
+
+    Subclasses implement :meth:`intervals`, yielding successive gaps in
+    simulated milliseconds.  Arrival ``i`` occurs at
+    ``start + sum(gaps[:i + 1])`` — the first gap separates the run's start
+    from the first arrival.  A process must be *restartable*: every call to
+    :meth:`intervals` yields the same stream, so two runs configured with
+    the same process (and seed) see identical arrivals.
+    """
+
+    def intervals(self) -> Iterator[float]:
+        """Yield successive inter-arrival gaps in simulated milliseconds."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DeterministicArrivals(ArrivalProcess):
+    """Arrivals at a fixed rate: one every ``1000 / rate_tps`` ms.
+
+    ``rate_tps=float("inf")`` means every transaction arrives at the run's
+    start instant — the degenerate process :func:`run_open_loop` uses for
+    ``arrivals=None``.
+    """
+
+    rate_tps: float
+
+    def __post_init__(self) -> None:
+        # NaN must be rejected explicitly: it fails every comparison, so a
+        # NaN rate would slip past a plain <= 0 check and then make the
+        # driver's admission/advance comparisons all False — an idle spin
+        # that max_waves (which only counts dispatched waves) never bounds.
+        if math.isnan(self.rate_tps) or self.rate_tps <= 0:
+            raise ValueError(f"arrival rate must be positive, got {self.rate_tps}")
+
+    def intervals(self) -> Iterator[float]:
+        """Yield the constant gap ``1000 / rate_tps`` (0 for an infinite rate)."""
+        gap = 0.0 if math.isinf(self.rate_tps) else 1000.0 / self.rate_tps
+        while True:
+            yield gap
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at mean rate ``rate_tps``, reproducible by seed.
+
+    Gaps are drawn ``Random(seed).expovariate(rate_tps / 1000)``; the
+    generator is re-seeded on every :meth:`intervals` call, so the same
+    process object replays the identical arrival sequence run after run —
+    the property the props suite asserts as "a fixed ``arrival_seed`` makes
+    the full ``RunStats`` deterministic".
+    """
+
+    rate_tps: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not (self.rate_tps > 0 and math.isfinite(self.rate_tps)):
+            raise ValueError(f"Poisson rate must be positive and finite, "
+                             f"got {self.rate_tps}")
+
+    def intervals(self) -> Iterator[float]:
+        """Yield exponential gaps from a fresh ``Random(seed)`` stream."""
+        rng = random.Random(self.seed)
+        rate_per_ms = self.rate_tps / 1000.0
+        while True:
+            yield rng.expovariate(rate_per_ms)
+
+
+def as_arrival_process(arrivals: Union[ArrivalProcess, float, None]
+                       ) -> ArrivalProcess:
+    """Normalise the ``arrivals`` argument of :func:`run_open_loop`.
+
+    ``None`` means unbounded offered load (everything arrives at the start),
+    a number is shorthand for :class:`DeterministicArrivals` at that rate,
+    and an :class:`ArrivalProcess` passes through unchanged.
+    """
+    if arrivals is None:
+        return DeterministicArrivals(float("inf"))
+    if isinstance(arrivals, ArrivalProcess):
+        return arrivals
+    if isinstance(arrivals, (int, float)):
+        return DeterministicArrivals(float(arrivals))
+    raise TypeError(f"arrivals must be an ArrivalProcess, a rate in txn/s, "
+                    f"or None; got {type(arrivals).__name__}")
+
+
+def run_open_loop(engine: TransactionEngine, factory_source: FactorySource,
+                  total_transactions: int,
+                  arrivals: Union[ArrivalProcess, float, None] = None,
+                  clients: int = 32, queue_limit: Optional[int] = None,
+                  max_retries: int = 2, max_waves: int = 100_000) -> RunStats:
+    """Offer ``total_transactions`` to ``engine`` according to ``arrivals``.
+
+    Each iteration admits every arrival whose instant has passed into the
+    bounded admission queue (capacity ``queue_limit``; ``None`` = unbounded;
+    a full queue drops the arrival), then dispatches one wave — retries
+    first, then queued arrivals in FIFO order — of at most
+    ``min(clients, engine.open_loop_wave_limit())`` programs through
+    ``engine.submit_many``.  When the queue is empty and arrivals remain,
+    the clock jumps to the next arrival instant (the generator is the only
+    idle party; the engine's time only advances by its own work).
+
+    Queueing delay — admission (or re-queue, for retries) to wave dispatch —
+    is recorded per committing attempt in ``RunStats.queue_delays_ms``,
+    aligned with ``latencies_ms``; offered/dropped/queue-depth counters and
+    the usual closed-loop accounting fill the rest of the
+    :class:`~repro.api.results.RunStats`.  ``max_waves`` bounds the loop for
+    pathological configurations, exactly like the closed loop's
+    ``max_batches``.
+    """
+    from repro.api.loop import CounterBaseline
+
+    process = as_arrival_process(arrivals)
+    stats = RunStats(engine=engine.name)
+    baseline = CounterBaseline.capture(engine)
+    start_ms = baseline.start_ms
+
+    wave_limit = engine.open_loop_wave_limit()
+    capacity = clients if wave_limit is None else min(clients, max(1, wave_limit))
+
+    gaps = process.intervals()
+    next_arrival_ms = start_ms + next(gaps)
+    generated = 0
+    # Admission queue of (factory, enqueued_ms); retries carry their attempt
+    # count and travel in a separate pool served first (as in the closed
+    # loop), since they were already admitted once.
+    queue: Deque[Tuple[ProgramFactory, float]] = deque()
+    retry_pool: List[Tuple[ProgramFactory, int, float]] = []
+
+    def admit_through(now_ms: float) -> None:
+        """Admit every arrival with ``arrival_ms <= now_ms`` (inclusive:
+        an arrival exactly on the boundary joins this wave, once)."""
+        nonlocal generated, next_arrival_ms
+        while generated < total_transactions and next_arrival_ms <= now_ms:
+            generated += 1
+            stats.offered += 1
+            if queue_limit is not None and len(queue) >= queue_limit:
+                stats.dropped += 1
+            else:
+                queue.append((factory_source(), next_arrival_ms))
+                stats.max_queue_depth = max(stats.max_queue_depth, len(queue))
+            next_arrival_ms += next(gaps)
+
+    while stats.epochs < max_waves:
+        admit_through(engine.clock.now_ms)
+        if not retry_pool and not queue:
+            if generated < total_transactions:
+                engine.clock.advance_to(next_arrival_ms)
+                continue
+            break
+
+        dispatch_ms = engine.clock.now_ms
+        wave: List[Tuple[ProgramFactory, int, float]] = []
+        while retry_pool and len(wave) < capacity:
+            wave.append(retry_pool.pop(0))
+        while queue and len(wave) < capacity:
+            factory, enqueued_ms = queue.popleft()
+            wave.append((factory, 0, enqueued_ms))
+        if not wave:
+            # Work is pending but the wave capacity admits none of it
+            # (non-positive ``clients``): stop, as the closed loop does,
+            # instead of spinning max_waves empty submissions.
+            break
+        backlog = len(queue)
+
+        results = engine.submit_many([factory for factory, _, _ in wave])
+        stats.epochs += 1
+        engine.record_open_loop_wave(queue_depth=backlog, dropped=stats.dropped)
+
+        for (factory, attempts, enqueued_ms), result in zip(wave, results):
+            stats.results.append(result)
+            if result.committed:
+                stats.committed += 1
+                stats.latencies_ms.append(result.latency_ms)
+                stats.queue_delays_ms.append(dispatch_ms - enqueued_ms)
+            else:
+                stats.aborted += 1
+                if attempts < max_retries:
+                    retry_pool.append((factory, attempts + 1,
+                                       engine.clock.now_ms))
+                    stats.retries += 1
+
+    return baseline.finalize(stats, engine)

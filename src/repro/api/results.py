@@ -16,7 +16,7 @@ provided as read/write properties.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.client import TransactionResult
 
@@ -76,6 +76,23 @@ class RunStats:
     results:
         Every :class:`~repro.core.client.TransactionResult` observed,
         including aborted attempts that were later retried.
+    offered / dropped:
+        Open-loop load accounting (:func:`repro.api.openloop.run_open_loop`):
+        arrivals the arrival process generated, and arrivals turned away by
+        the bounded admission queue (dropped arrivals never execute, so
+        ``committed + aborted == (offered - dropped) + retries`` for an
+        open-loop run that ran to completion; a run truncated by
+        ``max_waves`` may leave offered arrivals queued and a final-wave
+        re-queued retry unattempted, so the identity holds only as ``<=``
+        there).  Both stay 0 for closed-loop runs.
+    max_queue_depth:
+        Largest admission-queue depth observed while admitting open-loop
+        arrivals (0 for closed-loop runs, where no queue exists).
+    queue_delays_ms:
+        Per-committed-transaction *queueing* delay samples — admission (or
+        re-queue, for the committing retry) to wave dispatch — aligned
+        index-by-index with ``latencies_ms``.  Empty for closed-loop runs:
+        queueing delay is exactly what the closed loop cannot express.
     """
 
     engine: str = ""
@@ -92,6 +109,10 @@ class RunStats:
     partition_physical: List[Tuple[int, int]] = field(default_factory=list)
     server_physical: List[Tuple[int, int]] = field(default_factory=list)
     worker_ops: List[Tuple[int, int]] = field(default_factory=list)
+    offered: int = 0
+    dropped: int = 0
+    max_queue_depth: int = 0
+    queue_delays_ms: List[float] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     # Derived metrics
@@ -130,10 +151,12 @@ class RunStats:
         """99th-percentile committed-transaction latency."""
         return self._percentile(0.99)
 
-    def _percentile(self, fraction: float) -> float:
-        if not self.latencies_ms:
+    def _percentile(self, fraction: float,
+                    samples: Optional[List[float]] = None) -> float:
+        data = self.latencies_ms if samples is None else samples
+        if not data:
             return 0.0
-        ordered = sorted(self.latencies_ms)
+        ordered = sorted(data)
         index = min(len(ordered) - 1, int(fraction * len(ordered)))
         return ordered[index]
 
@@ -142,6 +165,65 @@ class RunStats:
         """Fraction of attempts that aborted (0.0 with no attempts)."""
         total = self.committed + self.aborted
         return self.aborted / total if total else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Open-loop metrics (offered load, queueing)
+    # ------------------------------------------------------------------ #
+    @property
+    def offered_tps(self) -> float:
+        """Offered load in arrivals per simulated second (0 when closed loop)."""
+        if self.elapsed_ms <= 0:
+            return 0.0
+        return self.offered * 1000.0 / self.elapsed_ms
+
+    @property
+    def achieved_tps(self) -> float:
+        """Achieved throughput — an alias of :attr:`throughput_tps` that
+        reads naturally next to :attr:`offered_tps` in saturation sweeps."""
+        return self.throughput_tps
+
+    @property
+    def total_latencies_ms(self) -> List[float]:
+        """Queue-inclusive latency samples (queueing delay + service latency).
+
+        For closed-loop runs (no queueing-delay samples) this is simply the
+        service latencies, so the property reads uniformly in either mode.
+        """
+        if not self.queue_delays_ms:
+            return list(self.latencies_ms)
+        return [queue + service for queue, service
+                in zip(self.queue_delays_ms, self.latencies_ms)]
+
+    @property
+    def average_queue_delay_ms(self) -> float:
+        """Mean queueing delay of committed transactions (0.0 closed loop)."""
+        if not self.queue_delays_ms:
+            return 0.0
+        return sum(self.queue_delays_ms) / len(self.queue_delays_ms)
+
+    @property
+    def average_total_latency_ms(self) -> float:
+        """Mean queue-inclusive latency (equals the mean service latency
+        for closed-loop runs)."""
+        totals = self.total_latencies_ms
+        if not totals:
+            return 0.0
+        return sum(totals) / len(totals)
+
+    @property
+    def p50_total_latency_ms(self) -> float:
+        """Median queue-inclusive latency."""
+        return self._percentile(0.50, self.total_latencies_ms)
+
+    @property
+    def p95_total_latency_ms(self) -> float:
+        """95th-percentile queue-inclusive latency."""
+        return self._percentile(0.95, self.total_latencies_ms)
+
+    @property
+    def p99_total_latency_ms(self) -> float:
+        """99th-percentile queue-inclusive latency."""
+        return self._percentile(0.99, self.total_latencies_ms)
 
     # ------------------------------------------------------------------ #
     # Legacy attribute names

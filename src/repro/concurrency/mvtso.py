@@ -77,6 +77,29 @@ class MVTSOManager:
         self.transactions[txn.txn_id] = txn
         return txn
 
+    @property
+    def next_timestamp(self) -> int:
+        """The timestamp the next ``begin`` would assign (a high-water mark)."""
+        return self._next_ts
+
+    @property
+    def next_txn_id(self) -> int:
+        """The id the next ``begin`` would assign (a high-water mark)."""
+        return self._next_txn_id
+
+    def fast_forward(self, next_timestamp: int, next_txn_id: int) -> None:
+        """Advance the timestamp/id counters to at least the given values.
+
+        Used when a recovered proxy must *extend* a predecessor's
+        serialization order rather than restart it: timestamps define the
+        multiversion order, so a fresh manager re-issuing already-used
+        timestamps would interleave its versions before history that has
+        already committed (and re-used txn ids would alias nodes in the
+        serialization graph).  Counters never move backwards.
+        """
+        self._next_ts = max(self._next_ts, next_timestamp)
+        self._next_txn_id = max(self._next_txn_id, next_txn_id)
+
     def get(self, txn_id: int) -> TransactionRecord:
         return self.transactions[txn_id]
 

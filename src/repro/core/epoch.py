@@ -81,6 +81,13 @@ class EpochSummary:
     (``repro.proxytier``): one ``(cc_reads, cc_writes)`` pair of
     concurrency-control operations per proxy worker for this epoch.  The
     single-proxy path reports no breakdown (empty tuple).
+
+    ``queue_depth``/``arrivals_dropped`` mirror the open-loop load
+    generator's admission queue when the epoch was one of its waves
+    (:func:`repro.api.openloop.run_open_loop` — for the Obladi engine one
+    wave is exactly one epoch): the backlog left queued after this epoch's
+    wave was drawn, and the run's cumulative dropped arrivals at that
+    point.  Both stay 0 for closed-loop and direct ``run_epoch`` use.
     """
 
     epoch_id: int
@@ -92,6 +99,8 @@ class EpochSummary:
     physical_writes: int
     partition_physical: tuple = ()
     worker_ops: tuple = ()
+    queue_depth: int = 0
+    arrivals_dropped: int = 0
 
     @classmethod
     def from_state(cls, state: EpochState, physical_reads: int,

@@ -13,6 +13,7 @@ Figure 10e      :func:`run_epoch_size_oram`
 Figure 10f      :func:`run_epoch_size_proxy`
 Figure 11a      :func:`run_checkpoint_frequency`
 Table 11b       :func:`run_recovery_table`
+(open loop)     :func:`run_saturation_sweep`
 ==============  ====================================================
 """
 
@@ -414,6 +415,117 @@ def run_epoch_size_proxy(applications: Sequence[str] = ("smallbank", "freehealth
                                           read_batches=read_batches,
                                           throughput_tps=run.throughput_tps,
                                           abort_rate=run.abort_rate))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Open-loop saturation sweep (offered load vs latency/throughput)
+# --------------------------------------------------------------------------- #
+@dataclass
+class SaturationRow:
+    """One offered-load point of an open-loop saturation sweep."""
+
+    engine: str
+    rate_multiplier: float        # offered rate as a fraction of the ceiling
+    target_rate_tps: float        # the configured arrival rate
+    offered_tps: float            # measured arrivals / elapsed (service-bound
+                                  # once a backlog forms, so it plateaus too)
+    achieved_tps: float
+    mean_total_latency_ms: float  # queueing delay + service latency
+    p95_total_latency_ms: float
+    p99_total_latency_ms: float
+    mean_queue_delay_ms: float
+    max_queue_depth: int
+    dropped: int
+    abort_rate: float
+    closed_loop_tps: float        # the engine's closed-loop ceiling
+    closed_loop_latency_ms: float
+
+
+def _saturation_engine(kind: str, clients: int, shards: int, proxy_workers: int,
+                       num_accounts: int, seed: int):
+    """A small, fast engine sized so ``clients`` fit in one epoch wave."""
+    config = (EngineConfig()
+              .with_workload("smallbank")
+              .with_backend("server")
+              .with_oram(num_blocks=max(2048, 2 * num_accounts), z_real=8,
+                         block_size=192)
+              .with_batching(read_batches=3, read_batch_size=2 * clients,
+                             write_batch_size=2 * clients,
+                             batch_interval_ms=2.0)
+              .with_sharding(shards)
+              .with_proxy_workers(proxy_workers)
+              .with_durability(False)
+              .with_encryption(False)
+              .with_seed(seed))
+    return create_engine(kind, config)
+
+
+def run_saturation_sweep(kinds: Sequence[str] = ("obladi", "nopriv"),
+                         rate_multipliers: Sequence[float] = (0.05, 0.5, 2.0, 4.0),
+                         transactions: int = 96, clients: int = 16,
+                         num_accounts: int = 400, shards: int = 1,
+                         proxy_workers: int = 1, arrival_seed: int = 7,
+                         seed: int = 11) -> List[SaturationRow]:
+    """Open-loop saturation sweep: offered load as a fraction of capacity.
+
+    For each engine kind the sweep first measures the *closed-loop ceiling*
+    (``run_closed_loop`` with ``clients`` slots — the service capacity an
+    open loop cannot exceed), then offers seeded-Poisson arrivals at
+    ``multiplier x ceiling`` for each multiplier and records achieved
+    throughput and queue-inclusive latency.  Below the knee
+    (``multiplier < 1``) latency should sit near the closed-loop latency;
+    past it, queueing delay grows with the multiplier while achieved
+    throughput plateaus at the ceiling — the open-loop shape of the paper's
+    Figure 9 latency/throughput trade-off.
+
+    An epoch-batched engine adds ~half an epoch of queueing at *any* rate
+    above one arrival per epoch (the pipeline never idles, and an arrival
+    waits out the in-flight epoch), so the default sweep's lowest point is
+    sparse enough (5% of the ceiling) that arrivals usually find the
+    system idle — that is the regime where open-loop latency genuinely
+    approaches the closed-loop number.
+    """
+    from repro.api.openloop import PoissonArrivals
+
+    rows: List[SaturationRow] = []
+    for kind in kinds:
+        workload = SmallBankWorkload(SmallBankConfig(num_accounts=num_accounts,
+                                                     seed=seed))
+        engine = _saturation_engine(kind, clients, shards, proxy_workers,
+                                    num_accounts, seed)
+        engine.load_initial_data(workload.initial_data())
+        ceiling = engine.run_closed_loop(workload.transaction_factory,
+                                         total_transactions=transactions,
+                                         clients=clients)
+
+        for multiplier in rate_multipliers:
+            workload = SmallBankWorkload(SmallBankConfig(num_accounts=num_accounts,
+                                                         seed=seed))
+            engine = _saturation_engine(kind, clients, shards, proxy_workers,
+                                        num_accounts, seed)
+            engine.load_initial_data(workload.initial_data())
+            rate = max(1e-6, multiplier * ceiling.throughput_tps)
+            run = engine.run_open_loop(workload.transaction_factory,
+                                       total_transactions=transactions,
+                                       arrivals=PoissonArrivals(rate, seed=arrival_seed),
+                                       clients=clients)
+            rows.append(SaturationRow(
+                engine=kind,
+                rate_multiplier=multiplier,
+                target_rate_tps=rate,
+                offered_tps=run.offered_tps,
+                achieved_tps=run.achieved_tps,
+                mean_total_latency_ms=run.average_total_latency_ms,
+                p95_total_latency_ms=run.p95_total_latency_ms,
+                p99_total_latency_ms=run.p99_total_latency_ms,
+                mean_queue_delay_ms=run.average_queue_delay_ms,
+                max_queue_depth=run.max_queue_depth,
+                dropped=run.dropped,
+                abort_rate=run.abort_rate,
+                closed_loop_tps=ceiling.throughput_tps,
+                closed_loop_latency_ms=ceiling.average_latency_ms,
+            ))
     return rows
 
 

@@ -19,7 +19,8 @@ import random
 import pytest
 
 from repro.api import (ENGINE_KINDS, EngineConfig, EngineFeatureUnavailable,
-                       RunStats, TransactionEngine, create_engine)
+                       PoissonArrivals, RunStats, TransactionEngine,
+                       create_engine)
 from repro.concurrency.serializability import check_serializable
 from repro.core.client import Read, ReadMany, Write
 
@@ -36,6 +37,13 @@ ENGINE_VARIANTS = [(kind, 1, 1, 1) for kind in ENGINE_KINDS] + \
 #: (shards, storage_servers, proxy_workers) topologies for the
 #: Obladi-specific tests (crash/recover runs against every one).
 OBLADI_TOPOLOGIES = [(1, 1, 1), (4, 1, 1), (4, 4, 1), (1, 1, 4), (4, 4, 4)]
+
+#: Variants for the open-loop path: every engine, and the Obladi engine
+#: across the full shards x proxy_workers grid — offered load is a new
+#: *scenario axis* and must behave identically over every topology.
+OPEN_LOOP_VARIANTS = [("nopriv", 1, 1, 1), ("mysql", 1, 1, 1)] + \
+    [("obladi", shards, 1, workers)
+     for shards in (1, 4) for workers in (1, 4)]
 
 
 def _variant_id(variant) -> str:
@@ -411,3 +419,133 @@ class TestProxyTierStats:
         eng.submit(append_program("k2"))
         after = eng.worker_op_counters()
         assert sum(reads for reads, _ in after) > sum(reads for reads, _ in before)
+
+
+class TestOpenLoop:
+    """The open-loop path must clear the same conformance bar as the closed
+    loop on every engine and Obladi topology: consistent RunStats math,
+    serializable histories, crash recovery mid-load, and the degeneracy
+    invariant — at unbounded offered rate with one client the open loop *is*
+    the closed loop."""
+
+    TOTAL = 32
+    RATE_TPS = 400.0
+
+    @pytest.fixture(params=OPEN_LOOP_VARIANTS, ids=_variant_id)
+    def open_engine(self, request) -> TransactionEngine:
+        kind, shards, servers, workers = request.param
+        eng = create_engine(kind, _config(shards, servers, workers))
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        return eng
+
+    def test_open_loop_accounting(self, open_engine):
+        run = open_engine.run_open_loop(
+            mixed_source(seed=11), self.TOTAL,
+            arrivals=PoissonArrivals(self.RATE_TPS, seed=7), clients=8)
+        assert isinstance(run, RunStats)
+        assert run.engine == open_engine.name
+        assert run.offered == self.TOTAL
+        assert run.dropped == 0                      # unbounded queue
+        assert run.committed > 0
+        # Dropped arrivals never execute; every admitted attempt resolves
+        # exactly once and every retry adds exactly one attempt.
+        assert run.committed + run.aborted == \
+            (run.offered - run.dropped) + run.retries
+        assert len(run.results) == run.committed + run.aborted
+        assert len(run.latencies_ms) == run.committed
+        assert len(run.queue_delays_ms) == run.committed
+        assert all(delay >= 0.0 for delay in run.queue_delays_ms)
+        assert run.max_queue_depth >= 1
+        assert run.elapsed_ms > 0
+        assert run.offered_tps > 0
+        assert run.achieved_tps == pytest.approx(run.throughput_tps)
+        # Queue-inclusive latency dominates service latency, sample-wise.
+        totals = run.total_latencies_ms
+        assert len(totals) == run.committed
+        assert all(total == pytest.approx(queue + service)
+                   for total, queue, service
+                   in zip(totals, run.queue_delays_ms, run.latencies_ms))
+        assert run.p50_total_latency_ms <= run.p95_total_latency_ms \
+            <= run.p99_total_latency_ms
+
+    def test_open_loop_history_is_serializable(self, open_engine):
+        run = open_engine.run_open_loop(
+            mixed_source(seed=5), self.TOTAL,
+            arrivals=PoissonArrivals(self.RATE_TPS, seed=3), clients=8)
+        assert len(open_engine.committed_history) == run.committed
+        ok, cycle = check_serializable(open_engine.committed_history)
+        assert ok, f"{open_engine.name}: non-serializable open-loop history: {cycle}"
+        total_appends = sum(len(open_engine.read(f"k{i}")) - 1 for i in range(6))
+        assert total_appends == run.committed
+
+    def test_unbounded_single_client_open_loop_is_the_closed_loop(self, request):
+        """The degeneracy invariant: arrivals=None (everything offered at
+        the start) with one client produces the closed loop's schedule —
+        identical outcomes, latencies and simulated timing."""
+        for kind, shards, servers, workers in OPEN_LOOP_VARIANTS:
+            closed_eng = create_engine(kind, _config(shards, servers, workers))
+            closed_eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+            closed = closed_eng.run_closed_loop(mixed_source(seed=11), 16,
+                                                clients=1, max_retries=2)
+            open_eng = create_engine(kind, _config(shards, servers, workers))
+            open_eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+            opened = open_eng.run_open_loop(mixed_source(seed=11), 16,
+                                            arrivals=None, clients=1,
+                                            max_retries=2)
+            label = _variant_id((kind, shards, servers, workers))
+            assert (closed.committed, closed.aborted, closed.retries) == \
+                (opened.committed, opened.aborted, opened.retries), label
+            assert closed.elapsed_ms == opened.elapsed_ms, label
+            assert closed.latencies_ms == opened.latencies_ms, label
+            assert closed.epochs == opened.epochs, label
+            state_closed = [closed_eng.read(f"k{i}") for i in range(NUM_KEYS)]
+            state_open = [open_eng.read(f"k{i}") for i in range(NUM_KEYS)]
+            assert state_closed == state_open, label
+
+    def test_bounded_queue_drops_are_accounted(self, open_engine):
+        run = open_engine.run_open_loop(mixed_source(seed=9), self.TOTAL,
+                                        arrivals=None, clients=4,
+                                        queue_limit=8)
+        assert run.offered == self.TOTAL
+        assert run.dropped == self.TOTAL - 8         # everything arrives at once
+        assert run.max_queue_depth == 8
+        assert run.committed + run.aborted == \
+            (run.offered - run.dropped) + run.retries
+
+    @pytest.mark.parametrize("shards,servers,workers", OBLADI_TOPOLOGIES)
+    def test_obladi_crash_recover_mid_open_loop(self, shards, servers, workers):
+        """Crash with offered load still queued, recover, keep offering:
+        lifetime stats accumulate across the incarnations and the combined
+        history stays serializable."""
+        eng = create_engine("obladi",
+                            _config(shards, servers, workers).with_durability(True))
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        # max_waves cuts the first run short, leaving offered load unserved.
+        first = eng.run_open_loop(mixed_source(seed=11), 24,
+                                  arrivals=PoissonArrivals(800.0, seed=5),
+                                  clients=4, max_waves=2)
+        assert first.epochs == 2
+        assert first.committed > 0
+        eng.crash()
+        eng.recover()
+        second = eng.run_open_loop(mixed_source(seed=12), 16,
+                                   arrivals=PoissonArrivals(800.0, seed=6),
+                                   clients=4)
+        assert second.committed > 0
+        totals = eng.stats()
+        assert totals.committed == first.committed + second.committed
+        ok, cycle = check_serializable(eng.committed_history)
+        assert ok, cycle
+
+    def test_obladi_epoch_summaries_mirror_the_admission_queue(self):
+        """For the Obladi engine one wave is one epoch: the wave's backlog
+        and cumulative drop count are mirrored into its EpochSummary."""
+        eng = create_engine("obladi", _config())
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        run = eng.run_open_loop(mixed_source(seed=7), 24, arrivals=None,
+                                clients=4, queue_limit=16)
+        assert run.dropped == 24 - 16
+        summaries = eng.proxy.epoch_summaries
+        assert summaries[0].queue_depth == 16 - 4    # backlog after wave 1
+        assert all(s.arrivals_dropped == run.dropped for s in summaries)
+        assert summaries[-1].queue_depth == 0
