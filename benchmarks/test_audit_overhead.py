@@ -1,0 +1,120 @@
+"""Audit overhead: what continuous integrity checking costs.
+
+The streaming auditor (:mod:`repro.audit`) rides along as a passive engine
+observer, so its entire cost is wall-clock CPU on the auditing host — it
+must not move a single *simulated* number.  This benchmark runs the same
+fixed-seed SmallBank closed-loop workload twice, bare and audited, and pins
+three claims:
+
+* **Zero simulated perturbation.**  The audited run's ``RunStats`` repr is
+  byte-identical to the bare run's (the ``audit`` field is excluded from
+  repr), so every figure stays valid with auditing enabled.
+* **Bounded memory.**  The auditor's retained-node high-water mark stays
+  far below the total history it certified — the epoch-fenced GC collapses
+  the settled prefix into per-key frontiers.
+* **Modest wall-clock overhead.**  Maintaining the DSG incrementally costs
+  a bounded multiple of the bare run's wall time (a loose 2x bound; in
+  practice it is a few percent).
+
+The measured numbers are snapshotted to ``BENCH_audit.json`` in the repo
+root for FIGURES.md.
+"""
+
+import json
+import os
+import time
+
+from repro.api import EngineConfig, create_engine
+from repro.audit import AuditingObserver
+from repro.workloads.smallbank import SmallBankConfig, SmallBankWorkload
+
+from .conftest import run_once
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SNAPSHOT = os.path.join(_REPO_ROOT, "BENCH_audit.json")
+
+
+def _engine(num_accounts, clients, seed=11):
+    config = (EngineConfig()
+              .with_workload("smallbank")
+              .with_backend("server")
+              .with_oram(num_blocks=max(2048, 4 * num_accounts), z_real=8,
+                         block_size=192)
+              .with_batching(read_batches=3, read_batch_size=2 * clients,
+                             write_batch_size=2 * clients)
+              .with_durability(False)
+              .with_encryption(False)
+              .with_seed(seed))
+    engine = create_engine("obladi", config)
+    workload = SmallBankWorkload(SmallBankConfig(num_accounts=num_accounts,
+                                                 seed=seed))
+    engine.load_initial_data(workload.initial_data())
+    return engine, workload
+
+
+def test_audit_overhead(benchmark, bench_scale):
+    """Bare vs audited run of the same fixed-seed workload."""
+    transactions = bench_scale["transactions"]
+    clients = bench_scale["clients"]
+    num_accounts = max(200, int(10_000 * bench_scale["workload_scale"]))
+
+    def pair():
+        runs = {}
+        for audited in (False, True):
+            engine, workload = _engine(num_accounts, clients)
+            if audited:
+                engine.attach_observer(AuditingObserver())
+            started = time.perf_counter()
+            stats = engine.run_closed_loop(workload.transaction_factory,
+                                           total_transactions=transactions,
+                                           clients=clients)
+            runs[audited] = (stats, time.perf_counter() - started)
+        return runs
+
+    runs = run_once(benchmark, pair)
+    bare, bare_wall = runs[False]
+    audited, audited_wall = runs[True]
+
+    # Claim 1: the simulation is untouched — byte-identical RunStats.
+    assert bare.audit is None and audited.audit is not None
+    assert repr(bare) == repr(audited)
+
+    # Claim 2: the history is certified with bounded memory.
+    report = audited.audit
+    assert report.ok, report.violations[:1]
+    assert report.txns_ingested == audited.committed
+    assert report.txns_settled > report.txns_ingested / 2
+    # Retention is bounded by the settle window (settle_lag + 1 waves of at
+    # most ``clients`` transactions), independent of how long the run is.
+    assert report.max_retained_nodes <= 3 * clients
+    assert report.max_retained_nodes < report.txns_ingested
+
+    # Claim 3: loose wall-clock bound (generous — CI machines are noisy).
+    overhead = audited_wall / max(bare_wall, 1e-9)
+    assert overhead < 2.0, f"auditing cost {overhead:.2f}x wall clock"
+
+    snapshot = {
+        "workload": "smallbank-closed-loop",
+        "transactions": transactions,
+        "clients": clients,
+        "committed": audited.committed,
+        "throughput_tps_simulated": audited.throughput_tps,
+        "bare_wall_s": round(bare_wall, 4),
+        "audited_wall_s": round(audited_wall, 4),
+        "overhead_ratio": round(overhead, 4),
+        "audit_ok": report.ok,
+        "txns_ingested": report.txns_ingested,
+        "txns_settled": report.txns_settled,
+        "max_retained_nodes": report.max_retained_nodes,
+        "max_retained_edges": report.max_retained_edges,
+        "watermark_ts": report.watermark_ts,
+    }
+    with open(_SNAPSHOT, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(f"\n  bare {bare_wall * 1e3:8.1f} ms   audited {audited_wall * 1e3:8.1f} ms"
+          f"   overhead {overhead:5.2f}x")
+    print(f"  ingested {report.txns_ingested}   settled {report.txns_settled}"
+          f"   retained high-water {report.max_retained_nodes} nodes"
+          f" / {report.max_retained_edges} edges")

@@ -1,11 +1,11 @@
 #!/usr/bin/env python
-"""Coverage floor gate for the engine layer (``src/repro/api``).
+"""Coverage floor gate for the gated packages.
 
 The conformance and loop-driver suites exist to pin the ``repro.api``
-surface down; this gate makes that claim checkable.  After a
-``pytest --cov=repro`` run has produced a ``.coverage`` data file, it
-reports line coverage restricted to ``src/repro/api/`` and fails (exit
-code 1) below the floor.
+surface down, and the auditor suites pin ``repro.audit``; this gate makes
+those claims checkable.  After a ``pytest --cov=repro`` run has produced a
+``.coverage`` data file, it reports line coverage restricted to each gated
+package and fails (exit code 1) below its floor.
 
 The gate degrades gracefully: when the ``coverage`` package is not
 installed (the tier-1 suite only requires the standard library plus
@@ -15,7 +15,7 @@ it after a coverage-enabled pytest run.
 Run from the repository root::
 
     PYTHONPATH=src python -m pytest -q --cov=repro
-    python scripts/check_coverage.py --min-api 85
+    python scripts/check_coverage.py --min-api 85 --min-audit 85
 """
 
 from __future__ import annotations
@@ -25,17 +25,29 @@ import io
 import os
 import sys
 
-#: The package the floor applies to, as a ``coverage report`` include glob.
-API_INCLUDE = "*/repro/api/*"
-DEFAULT_FLOOR = 85.0
+#: The gated packages: label -> (coverage include glob, default floor %).
+GATES = {
+    "api": ("*/repro/api/*", 85.0),
+    "audit": ("*/repro/audit/*", 85.0),
+}
+
+
+def _report(cov, include: str) -> float:
+    """Line-coverage percent for ``include``, printing the table."""
+    buffer = io.StringIO()
+    percent = cov.report(include=include, file=buffer, show_missing=False)
+    print(buffer.getvalue().rstrip())
+    return percent
 
 
 def main(argv=None) -> int:
-    """Enforce the ``src/repro/api`` coverage floor; return the exit code."""
+    """Enforce the per-package coverage floors; return the exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--min-api", type=float, default=DEFAULT_FLOOR,
-                        help=f"minimum line coverage percent for src/repro/api "
-                             f"(default {DEFAULT_FLOOR})")
+    for label, (include, floor) in GATES.items():
+        parser.add_argument(f"--min-{label}", type=float, default=floor,
+                            dest=f"min_{label}",
+                            help=f"minimum line coverage percent for "
+                                 f"{include} (default {floor})")
     parser.add_argument("--data-file", default=".coverage",
                         help="coverage data file produced by pytest --cov")
     args = parser.parse_args(argv)
@@ -44,7 +56,7 @@ def main(argv=None) -> int:
         import coverage
     except ImportError:
         print("check_coverage: the 'coverage' package is not installed; "
-              "skipping the src/repro/api floor gate")
+              "skipping the coverage floor gates")
         return 0
 
     if not os.path.exists(args.data_file):
@@ -54,22 +66,24 @@ def main(argv=None) -> int:
 
     cov = coverage.Coverage(data_file=args.data_file)
     cov.load()
-    buffer = io.StringIO()
-    try:
-        percent = cov.report(include=API_INCLUDE, file=buffer,
-                             show_missing=False)
-    except coverage.exceptions.NoDataError:
-        print("check_coverage: the coverage data contains nothing under "
-              f"{API_INCLUDE!r}")
-        return 1
-    print(buffer.getvalue().rstrip())
-    if percent < args.min_api:
-        print(f"check_coverage: src/repro/api line coverage {percent:.1f}% "
-              f"is below the floor of {args.min_api:.1f}%")
-        return 1
-    print(f"check_coverage: OK — src/repro/api at {percent:.1f}% "
-          f"(floor {args.min_api:.1f}%)")
-    return 0
+    failed = False
+    for label, (include, _) in GATES.items():
+        floor = getattr(args, f"min_{label}")
+        try:
+            percent = _report(cov, include)
+        except coverage.exceptions.NoDataError:
+            print(f"check_coverage: the coverage data contains nothing under "
+                  f"{include!r}")
+            failed = True
+            continue
+        if percent < floor:
+            print(f"check_coverage: {include} line coverage {percent:.1f}% "
+                  f"is below the floor of {floor:.1f}%")
+            failed = True
+        else:
+            print(f"check_coverage: OK — {include} at {percent:.1f}% "
+                  f"(floor {floor:.1f}%)")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

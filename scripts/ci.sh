@@ -8,8 +8,8 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 # Docs gate: the README/ARCHITECTURE doctest snippets must execute, and
-# every exported repro.api / repro.sharding / repro.proxytier symbol must
-# carry a docstring.
+# every exported repro.api / repro.sharding / repro.proxytier / repro.audit
+# symbol must carry a docstring.
 echo "== docs gate: doctests + exported-symbol docstrings =="
 python -m doctest docs/ARCHITECTURE.md README.md
 python scripts/check_docstrings.py
@@ -21,12 +21,13 @@ python -m pytest -q benchmarks/test_fig9_end_to_end.py -k smoke
 
 echo "== tier-1: unit, property, integration and benchmark suites =="
 # With pytest-cov available the tier-1 run doubles as the coverage run, and
-# a floor is enforced on src/repro/api — the layer the conformance and
-# loop-driver suites are supposed to pin down.  Without it (the tier-1
-# dependencies are stdlib + pytest only) the suite runs uninstrumented.
+# floors are enforced on src/repro/api and src/repro/audit — the layers the
+# conformance, loop-driver and auditor suites are supposed to pin down.
+# Without it (the tier-1 dependencies are stdlib + pytest only) the suite
+# runs uninstrumented.
 if python -c "import pytest_cov" 2>/dev/null; then
     python -m pytest -x -q --cov=repro
-    python scripts/check_coverage.py --min-api 85
+    python scripts/check_coverage.py --min-api 85 --min-audit 85
 else
     echo "(pytest-cov not installed; running without the coverage gate)"
     python -m pytest -x -q

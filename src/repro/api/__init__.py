@@ -20,6 +20,11 @@ NoPriv and a MySQL-like store.  This package is that idea as an API:
   offered load through a bounded admission queue into batched waves, with
   queueing delay measured separately from service latency.
 
+Engines also expose an *observer seam* (``engine.attach_observer(...)``):
+passive observers — most notably the streaming serializability auditor of
+:mod:`repro.audit` — are notified after every wave and at run end, and
+publish their verdict on ``RunStats.audit`` without perturbing the run.
+
 Every future scaling direction (sharded proxies, alternate storage
 backends, async batching) plugs in by implementing ``TransactionEngine``
 and registering a kind with ``create_engine``.
@@ -29,7 +34,8 @@ from repro.api.adapters import (MySQLEngine, NoPrivEngine, ObladiEngine,
                                 wrap_engine)
 from repro.api.engine import (EngineFeatureUnavailable, FactorySource,
                               ProgramFactory, TransactionEngine)
-from repro.api.factory import ENGINE_KINDS, EngineConfig, create_engine
+from repro.api.factory import (DIAGNOSTIC_KINDS, ENGINE_KINDS, EngineConfig,
+                               create_engine)
 from repro.api.loop import DEFAULT_RETRY_POLICY, RetryPolicy, run_closed_loop
 from repro.api.openloop import (ArrivalProcess, DeterministicArrivals,
                                 PoissonArrivals, run_open_loop)
@@ -42,6 +48,7 @@ __all__ = [
     "EngineConfig",
     "create_engine",
     "ENGINE_KINDS",
+    "DIAGNOSTIC_KINDS",
     "run_closed_loop",
     "run_open_loop",
     "ArrivalProcess",

@@ -56,7 +56,9 @@ class ObladiEngine(TransactionEngine):
         self.proxy.load_initial_data(items)
 
     def submit(self, program) -> TransactionResult:
-        return self.proxy.execute_transaction(program)
+        result = self.proxy.execute_transaction(program)
+        self._notify_wave([result])
+        return result
 
     def submit_many(self, programs: Sequence[ProgramFactory]) -> List[TransactionResult]:
         if not programs:
@@ -66,7 +68,9 @@ class ObladiEngine(TransactionEngine):
         summary = self.proxy.run_epoch()
         epoch_results = [r for r in self.proxy.results.values()
                          if r.epoch == summary.epoch_id]
-        return sorted(epoch_results, key=lambda r: r.txn_id)
+        ordered = sorted(epoch_results, key=lambda r: r.txn_id)
+        self._notify_wave(ordered)
+        return ordered
 
     def open_loop_wave_limit(self) -> int:
         """One open-loop wave is one epoch: pipeline a full epoch batch.
@@ -259,7 +263,9 @@ class _ClosedLoopBaselineEngine(TransactionEngine):
         # With retries off each factory resolves exactly once, and slots pick
         # factories up in queue order with monotonically increasing txn ids,
         # so sorting by id restores submission order.
-        return sorted(wave.results, key=lambda r: r.txn_id)
+        ordered = sorted(wave.results, key=lambda r: r.txn_id)
+        self._notify_wave(ordered)
+        return ordered
 
     def _absorb(self, wave: RunStats) -> None:
         total = self._lifetime

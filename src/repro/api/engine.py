@@ -157,6 +157,45 @@ class TransactionEngine(abc.ABC):
         """
 
     # ------------------------------------------------------------------ #
+    # Observers
+    # ------------------------------------------------------------------ #
+    @property
+    def observers(self) -> List["object"]:
+        """Attached :class:`~repro.audit.observer.EngineObserver`\\ s (read-only view)."""
+        return list(getattr(self, "_observers", ()))
+
+    def attach_observer(self, observer):
+        """Attach an observer and return it.
+
+        Observers (:class:`repro.audit.observer.EngineObserver`) receive
+        ``on_wave`` after every ``submit_many`` wave and ``on_run_end`` when
+        a closed- or open-loop driver finishes.  They are passive: attaching
+        one never changes the engine's simulated behaviour, so fixed-seed
+        runs stay byte-identical.  Returns the observer for chaining
+        (``auditor = engine.attach_observer(AuditingObserver())``).
+        """
+        if not hasattr(self, "_observers"):
+            self._observers: List[object] = []
+        self._observers.append(observer)
+        observer.on_attach(self)
+        return observer
+
+    def detach_observer(self, observer) -> None:
+        """Detach a previously attached observer (no-op if absent)."""
+        if hasattr(self, "_observers") and observer in self._observers:
+            self._observers.remove(observer)
+
+    def _notify_wave(self, results) -> None:
+        """Notify observers that a wave committed (engines call this)."""
+        for observer in getattr(self, "_observers", ()):
+            observer.on_wave(self, results)
+
+    def _notify_run_end(self, stats) -> None:
+        """Notify observers that a loop driver finished (drivers call this)."""
+        for observer in getattr(self, "_observers", ()):
+            observer.on_run_end(self, stats)
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @abc.abstractmethod

@@ -155,4 +155,6 @@ def run_closed_loop(engine: TransactionEngine, factory_source: FactorySource,
                     retry_pool.append((factory, attempts + 1))
                     stats.retries += 1
 
-    return baseline.finalize(stats, engine)
+    baseline.finalize(stats, engine)
+    engine._notify_run_end(stats)
+    return stats

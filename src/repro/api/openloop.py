@@ -235,4 +235,6 @@ def run_open_loop(engine: TransactionEngine, factory_source: FactorySource,
                                        engine.clock.now_ms))
                     stats.retries += 1
 
-    return baseline.finalize(stats, engine)
+    baseline.finalize(stats, engine)
+    engine._notify_run_end(stats)
+    return stats

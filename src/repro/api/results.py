@@ -93,6 +93,12 @@ class RunStats:
         re-queue, for the committing retry) to wave dispatch — aligned
         index-by-index with ``latencies_ms``.  Empty for closed-loop runs:
         queueing delay is exactly what the closed loop cannot express.
+    audit:
+        The :class:`~repro.audit.streaming.AuditReport` published by an
+        attached :class:`~repro.audit.observer.AuditingObserver` when the
+        run finished, or ``None`` when no auditor was attached.  Excluded
+        from ``repr`` and ``==`` so audited fixed-seed runs compare
+        byte-identical to unaudited ones.
     """
 
     engine: str = ""
@@ -113,6 +119,9 @@ class RunStats:
     dropped: int = 0
     max_queue_depth: int = 0
     queue_delays_ms: List[float] = field(default_factory=list)
+    # Typed as object to avoid importing repro.audit here (the audit package
+    # sits above the api layer); holds an AuditReport when an auditor ran.
+    audit: Optional[object] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # Derived metrics

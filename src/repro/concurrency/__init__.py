@@ -15,18 +15,25 @@ test suite to validate that every committed history really is serializable.
 from repro.concurrency.transaction import TransactionRecord, TransactionStatus
 from repro.concurrency.mvtso import MVTSOManager, WriteConflictError
 from repro.concurrency.versions import Version, VersionChain, VersionStore
-from repro.concurrency.serializability import SerializationGraph, check_serializable
+from repro.concurrency.serializability import (SerializationGraph,
+                                               build_serialization_graph,
+                                               check_recoverable,
+                                               check_serializable)
+from repro.concurrency.transaction import CommittedTransaction
 from repro.concurrency.two_phase_locking import LockManager, LockMode, DeadlockError
 
 __all__ = [
     "TransactionRecord",
     "TransactionStatus",
+    "CommittedTransaction",
     "MVTSOManager",
     "WriteConflictError",
     "Version",
     "VersionChain",
     "VersionStore",
     "SerializationGraph",
+    "build_serialization_graph",
+    "check_recoverable",
     "check_serializable",
     "LockManager",
     "LockMode",

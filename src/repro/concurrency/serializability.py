@@ -11,6 +11,7 @@ write-back install.
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -81,21 +82,26 @@ class SerializationGraph:
         return self.find_cycle() is None
 
     def topological_order(self) -> List[int]:
-        """A serialization order, if one exists."""
+        """A serialization order, if one exists.
+
+        Deterministic: among the ready nodes the smallest txn id is always
+        emitted first (a min-heap ready queue — O((V+E) log V), replacing a
+        list that was popped from the front and re-sorted per node).
+        """
         indegree = {node: 0 for node in self.nodes}
         for src, dsts in self.edges.items():
             for dst in dsts:
                 indegree[dst] += 1
-        ready = sorted(node for node, deg in indegree.items() if deg == 0)
+        ready = [node for node, deg in indegree.items() if deg == 0]
+        heapq.heapify(ready)
         order: List[int] = []
         while ready:
-            node = ready.pop(0)
+            node = heapq.heappop(ready)
             order.append(node)
-            for dst in sorted(self.edges[node]):
+            for dst in self.edges[node]:
                 indegree[dst] -= 1
                 if indegree[dst] == 0:
-                    ready.append(dst)
-            ready.sort()
+                    heapq.heappush(ready, dst)
         if len(order) != len(self.nodes):
             raise ValueError("graph has a cycle; no serialization order exists")
         return order

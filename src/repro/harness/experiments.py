@@ -440,6 +440,8 @@ class SaturationRow:
     abort_rate: float
     closed_loop_tps: float        # the engine's closed-loop ceiling
     closed_loop_latency_ms: float
+    audit_ok: bool = True         # streaming serializability verdict
+    audit_max_retained: int = 0   # auditor's retained-node high-water mark
 
 
 def _saturation_engine(kind: str, clients: int, shards: int, proxy_workers: int,
@@ -479,6 +481,11 @@ def run_saturation_sweep(kinds: Sequence[str] = ("obladi", "nopriv"),
     throughput plateaus at the ceiling — the open-loop shape of the paper's
     Figure 9 latency/throughput trade-off.
 
+    Every open-loop point runs with a streaming serializability auditor
+    attached (:class:`repro.audit.AuditingObserver`), so each row also
+    certifies its own history (``audit_ok``) and records the auditor's
+    bounded-memory high-water mark (``audit_max_retained``).
+
     An epoch-batched engine adds ~half an epoch of queueing at *any* rate
     above one arrival per epoch (the pipeline never idles, and an arrival
     waits out the in-flight epoch), so the default sweep's lowest point is
@@ -487,6 +494,7 @@ def run_saturation_sweep(kinds: Sequence[str] = ("obladi", "nopriv"),
     approaches the closed-loop number.
     """
     from repro.api.openloop import PoissonArrivals
+    from repro.audit import AuditingObserver
 
     rows: List[SaturationRow] = []
     for kind in kinds:
@@ -505,11 +513,13 @@ def run_saturation_sweep(kinds: Sequence[str] = ("obladi", "nopriv"),
             engine = _saturation_engine(kind, clients, shards, proxy_workers,
                                         num_accounts, seed)
             engine.load_initial_data(workload.initial_data())
+            engine.attach_observer(AuditingObserver())
             rate = max(1e-6, multiplier * ceiling.throughput_tps)
             run = engine.run_open_loop(workload.transaction_factory,
                                        total_transactions=transactions,
                                        arrivals=PoissonArrivals(rate, seed=arrival_seed),
                                        clients=clients)
+            audit = run.audit
             rows.append(SaturationRow(
                 engine=kind,
                 rate_multiplier=multiplier,
@@ -525,6 +535,9 @@ def run_saturation_sweep(kinds: Sequence[str] = ("obladi", "nopriv"),
                 abort_rate=run.abort_rate,
                 closed_loop_tps=ceiling.throughput_tps,
                 closed_loop_latency_ms=ceiling.average_latency_ms,
+                audit_ok=audit.ok if audit is not None else True,
+                audit_max_retained=(audit.max_retained_nodes
+                                    if audit is not None else 0),
             ))
     return rows
 

@@ -21,7 +21,8 @@ import pytest
 from repro.api import (ENGINE_KINDS, EngineConfig, EngineFeatureUnavailable,
                        PoissonArrivals, RunStats, TransactionEngine,
                        create_engine)
-from repro.concurrency.serializability import check_serializable
+from repro.audit import AuditingObserver
+from repro.concurrency import check_serializable
 from repro.core.client import Read, ReadMany, Write
 
 NUM_KEYS = 24
@@ -549,3 +550,52 @@ class TestOpenLoop:
         assert summaries[0].queue_depth == 16 - 4    # backlog after wave 1
         assert all(s.arrivals_dropped == run.dropped for s in summaries)
         assert summaries[-1].queue_depth == 0
+
+
+class TestAuditing:
+    """Continuous auditing is part of the engine contract: on every engine
+    and topology the streaming verdict must equal the offline checker's, the
+    auditor must retain less than the full history, and attaching it must
+    not perturb the run (byte-identical fixed-seed RunStats)."""
+
+    TOTAL = 40
+
+    def test_streaming_verdict_matches_offline_closed_loop(self, engine):
+        auditor = engine.attach_observer(AuditingObserver(settle_lag=2))
+        run = engine.run_closed_loop(mixed_source(seed=11), self.TOTAL,
+                                     clients=8)
+        report = run.audit
+        assert report is not None
+        offline_ok, offline_cycle = check_serializable(engine.committed_history)
+        assert report.ok == offline_ok, offline_cycle
+        assert report.ok, [v.detail for v in report.violations[:1]]
+        assert report.txns_ingested == run.committed
+        # Bounded retention: the auditor held a strict subset of the history.
+        assert report.txns_settled > 0
+        assert report.max_retained_nodes < report.txns_ingested
+
+    def test_streaming_verdict_matches_offline_open_loop(self, engine):
+        engine.attach_observer(AuditingObserver(settle_lag=2))
+        run = engine.run_open_loop(mixed_source(seed=5), self.TOTAL,
+                                   arrivals=PoissonArrivals(400.0, seed=3),
+                                   clients=8)
+        offline_ok, _ = check_serializable(engine.committed_history)
+        assert run.audit.ok == offline_ok
+        assert run.audit.txns_ingested == run.committed
+
+    def test_attached_auditor_leaves_runstats_byte_identical(self, engine,
+                                                             request):
+        """Fixed seed, same variant, one run bare and one audited: the
+        RunStats reprs must match byte for byte (the audit field is excluded
+        from repr), proving no-observer runs are untouched by this seam."""
+        variant = request.node.callspec.params["engine"]
+        kind, shards, servers, workers = variant
+        bare = engine.run_closed_loop(mixed_source(seed=11), self.TOTAL,
+                                      clients=8)
+        audited_engine = create_engine(kind, _config(shards, servers, workers))
+        audited_engine.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        audited_engine.attach_observer(AuditingObserver())
+        audited = audited_engine.run_closed_loop(mixed_source(seed=11),
+                                                 self.TOTAL, clients=8)
+        assert bare.audit is None and audited.audit is not None
+        assert repr(bare) == repr(audited)

@@ -1,0 +1,158 @@
+"""Adversarial conformance: the buggy engine must not fool the auditor."""
+
+import pytest
+
+from repro.api import DIAGNOSTIC_KINDS, ENGINE_KINDS, EngineConfig, create_engine
+from repro.audit import FAULT_KINDS, AuditingObserver, BuggyEngine
+from repro.concurrency import build_serialization_graph, check_serializable
+from repro.core.client import Read, ReadMany, Write
+
+NUM_KEYS = 8
+
+
+def _config(seed=3):
+    return (EngineConfig()
+            .with_oram(num_blocks=256, z_real=8, block_size=128)
+            .with_batching(read_batches=3, read_batch_size=16, write_batch_size=16)
+            .with_durability(False)
+            .with_encryption(False)
+            .with_seed(seed))
+
+
+def mixed_source(seed=11):
+    import random
+    rng = random.Random(seed)
+
+    def source():
+        a, b = rng.sample(range(NUM_KEYS), 2)
+
+        def program():
+            values = yield ReadMany([f"k{a}", f"k{b}"])
+            yield Write(f"k{a}", (values[f"k{a}"] or b"") + b"+")
+            return True
+
+        return program
+
+    return source
+
+
+def _buggy(kinds=None, period=3, seed=3):
+    engine = create_engine("buggy",
+                           _config(seed).with_faults(kinds=kinds, period=period))
+    engine.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+    return engine
+
+
+class TestRegistration:
+    def test_buggy_is_a_diagnostic_kind_not_an_evaluated_one(self):
+        assert "buggy" in DIAGNOSTIC_KINDS
+        assert "buggy" not in ENGINE_KINDS   # must never feed a figure
+
+    def test_create_engine_builds_a_buggy_wrapper(self):
+        engine = create_engine("buggy", _config())
+        assert isinstance(engine, BuggyEngine)
+        assert engine.name == "buggy"
+        assert engine.kinds == FAULT_KINDS
+
+    def test_fault_plan_flows_from_config(self):
+        engine = create_engine(
+            "buggy", _config().with_faults(kinds=("stale_read",), period=7,
+                                           fault_seed=9))
+        assert engine.kinds == ("stale_read",)
+        assert engine.period == 7
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError):
+            create_engine("buggy", _config().with_faults(kinds=("phantom",)))
+
+
+class TestDelegation:
+    def test_execution_is_untouched_only_the_report_lies(self):
+        """The wrapper corrupts the reported history, not the run: results,
+        timing and final state match a plain Obladi engine bit for bit."""
+        plain = create_engine("obladi", _config())
+        plain.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        honest = plain.run_closed_loop(mixed_source(seed=11), 24, clients=8)
+
+        buggy = _buggy()
+        lied = buggy.run_closed_loop(mixed_source(seed=11), 24, clients=8)
+
+        assert (honest.committed, honest.aborted, honest.elapsed_ms,
+                honest.latencies_ms) == \
+            (lied.committed, lied.aborted, lied.elapsed_ms, lied.latencies_ms)
+        assert [plain.read(f"k{i}") for i in range(NUM_KEYS)] == \
+            [buggy.read(f"k{i}") for i in range(NUM_KEYS)]
+        assert buggy.stats().engine == "buggy"
+        assert buggy.injected                       # but the report lies
+        honest_ok, _ = check_serializable(plain.committed_history)
+        lied_ok, _ = check_serializable(buggy.committed_history)
+        assert honest_ok and not lied_ok
+
+    def test_crash_recover_delegates(self):
+        engine = create_engine("buggy", _config().with_faults(period=2)
+                               .with_durability(True))
+        engine.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        assert engine.supports_crash_recovery
+        engine.run_closed_loop(mixed_source(seed=5), 8, clients=4)
+        history_before = len(engine.committed_history)
+        engine.crash()
+        engine.recover()
+        engine.run_closed_loop(mixed_source(seed=6), 8, clients=4)
+        assert len(engine.committed_history) > history_before
+
+
+class TestDetection:
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_every_injection_is_detected_by_auditor_and_offline(self, kind):
+        engine = _buggy(kinds=(kind,))
+        auditor = engine.attach_observer(AuditingObserver(settle_lag=2))
+        stats = engine.run_closed_loop(mixed_source(seed=5), 48, clients=8)
+
+        assert engine.injected, f"no {kind} injection opportunity arose"
+        assert all(inj.kind == kind for inj in engine.injected)
+
+        # The streaming auditor flags the corrupted history...
+        report = stats.audit
+        assert not report.ok
+        # ...and so does the offline checker (ground truth).
+        offline_ok, offline_cycle = check_serializable(engine.committed_history)
+        assert not offline_ok and offline_cycle
+
+        # Every single injection has a concrete witness: a violation whose
+        # txn/cycle mentions one of the corrupted transactions, or a
+        # stale-read/time-travel witness on one of them.
+        flagged = set()
+        for violation in report.violations:
+            flagged.add(violation.txn_id)
+            if violation.cycle:
+                flagged.update(violation.cycle)
+        for injection in engine.injected:
+            assert set(injection.txn_ids) & flagged, \
+                f"injection {injection} escaped the auditor"
+
+    def test_reported_cycles_are_genuine_offline_cycles(self):
+        engine = _buggy()
+        auditor = engine.attach_observer(AuditingObserver(settle_lag=4))
+        engine.run_closed_loop(mixed_source(seed=7), 48, clients=8)
+        report = auditor.report()
+        assert not report.ok
+        offline = build_serialization_graph(engine.committed_history)
+        cycles = [v.cycle for v in report.violations if v.cycle]
+        assert cycles, "expected at least one cycle witness"
+        for cycle in cycles:
+            # Each hop of the witness path (including the closing hop) is an
+            # edge of the offline DSG over the full corrupted history.
+            for src, dst in zip(cycle, cycle[1:] + cycle[:1]):
+                assert dst in offline.edges[src], \
+                    f"witness hop {src}->{dst} missing offline"
+
+    def test_clean_periods_stay_clean(self):
+        # With a period longer than the run, nothing is injected and the
+        # buggy engine is indistinguishable from a correct one.
+        engine = _buggy(period=10_000)
+        engine.attach_observer(AuditingObserver())
+        stats = engine.run_closed_loop(mixed_source(seed=5), 16, clients=4)
+        assert not engine.injected
+        assert stats.audit.ok
+        offline_ok, _ = check_serializable(engine.committed_history)
+        assert offline_ok

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.concurrency.serializability import (SerializationGraph, build_serialization_graph,
-                                               check_recoverable, check_serializable)
-from repro.concurrency.transaction import CommittedTransaction
+from repro.concurrency import (CommittedTransaction, SerializationGraph,
+                               build_serialization_graph, check_recoverable,
+                               check_serializable)
 
 
 def txn(txn_id, ts, reads=None, writes=None, epoch=0):
@@ -34,6 +34,22 @@ class TestGraphPrimitives:
         graph.add_edge(2, 3, "ww:a")
         order = graph.topological_order()
         assert order.index(1) < order.index(2) < order.index(3)
+
+    def test_topological_order_is_smallest_id_first(self):
+        """When several nodes are simultaneously ready the order must be
+        deterministic: the heap always yields the smallest txn id first,
+        regardless of insertion order."""
+        graph = SerializationGraph()
+        # A diamond inserted in scrambled order: 9 -> {7, 3, 5} -> 1.
+        for src, dst in [(9, 7), (9, 3), (5, 1), (9, 5), (3, 1), (7, 1)]:
+            graph.add_edge(src, dst, "ww:k")
+        assert graph.topological_order() == [9, 3, 5, 7, 1]
+
+    def test_topological_order_without_edges_sorts_ids(self):
+        graph = SerializationGraph()
+        for node in (4, 2, 9, 1):
+            graph.add_node(node)
+        assert graph.topological_order() == [1, 2, 4, 9]
 
     def test_topological_order_raises_on_cycle(self):
         graph = SerializationGraph()
