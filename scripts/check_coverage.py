@@ -2,7 +2,8 @@
 """Coverage floor gate for the gated packages.
 
 The conformance and loop-driver suites exist to pin the ``repro.api``
-surface down, and the auditor suites pin ``repro.audit``; this gate makes
+surface down, the auditor suites pin ``repro.audit``, and the MVTSO /
+repair / serializability suites pin ``repro.concurrency``; this gate makes
 those claims checkable.  After a ``pytest --cov=repro`` run has produced a
 ``.coverage`` data file, it reports line coverage restricted to each gated
 package and fails (exit code 1) below its floor.
@@ -15,7 +16,8 @@ it after a coverage-enabled pytest run.
 Run from the repository root::
 
     PYTHONPATH=src python -m pytest -q --cov=repro
-    python scripts/check_coverage.py --min-api 85 --min-audit 85
+    python scripts/check_coverage.py --min-api 85 --min-audit 85 \
+        --min-concurrency 85
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ import sys
 GATES = {
     "api": ("*/repro/api/*", 85.0),
     "audit": ("*/repro/audit/*", 85.0),
+    "concurrency": ("*/repro/concurrency/*", 85.0),
 }
 
 

@@ -21,7 +21,8 @@ import inspect
 import sys
 
 #: Public packages whose exported surface the gate covers.
-PACKAGES = ("repro.api", "repro.sharding", "repro.proxytier", "repro.audit")
+PACKAGES = ("repro.api", "repro.sharding", "repro.proxytier", "repro.audit",
+            "repro.concurrency")
 
 
 def _missing_in_class(qualname: str, cls: type) -> list:

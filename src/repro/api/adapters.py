@@ -72,6 +72,17 @@ class ObladiEngine(TransactionEngine):
         self._notify_wave(ordered)
         return ordered
 
+    def conflict_strategy(self) -> str:
+        """The proxy's configured conflict-resolution strategy.
+
+        Loop drivers default to this, so an engine built with
+        ``EngineConfig.with_conflict_strategy("repair")`` drives its waves
+        repair-aware without the call sites changing.  The repair itself
+        happens *inside* the proxy's epochs (``_repair_conflict_losers``);
+        the engine keeps the default ``repair_many`` of ``None``.
+        """
+        return self.proxy.config.conflict_strategy
+
     def open_loop_wave_limit(self) -> int:
         """One open-loop wave is one epoch: pipeline a full epoch batch.
 
@@ -96,10 +107,17 @@ class ObladiEngine(TransactionEngine):
         results = list(self.proxy.results.values())
         reads, writes = self.io_counters()
         retired = self._retired
+        aborted = retired.aborted + self.proxy.stats_aborted
+        repair_failed = retired.repair_failed + self.proxy.stats_repair_failed
+        aborts_by_reason = dict(retired.aborts_by_reason)
+        for result in results:
+            if not result.committed and result.abort_reason:
+                aborts_by_reason[result.abort_reason] = (
+                    aborts_by_reason.get(result.abort_reason, 0) + 1)
         return RunStats(
             engine=self.name,
             committed=retired.committed + self.proxy.stats_committed,
-            aborted=retired.aborted + self.proxy.stats_aborted,
+            aborted=aborted,
             elapsed_ms=self.clock.now_ms - self._start_ms,
             epochs=retired.epochs + len(self.proxy.epoch_summaries),
             physical_reads=reads,
@@ -111,6 +129,12 @@ class ObladiEngine(TransactionEngine):
             partition_physical=self._partition_physical(),
             server_physical=self.server_io_counters(),
             worker_ops=self.worker_op_counters(),
+            repaired=retired.repaired + self.proxy.stats_repaired,
+            repair_failed=repair_failed,
+            # Every abort wasted its attempt; a failed repair wasted one
+            # more on top (see ``account_final_result``).
+            wasted_attempts=aborted + repair_failed,
+            aborts_by_reason=aborts_by_reason,
         )
 
     @staticmethod
@@ -214,6 +238,12 @@ class ObladiEngine(TransactionEngine):
             old_worker_totals() if old_worker_totals is not None else [],
             self._retired.worker_ops)
         self._retired.cpu_ms += old.cc_cpu_ms
+        self._retired.repaired += old.stats_repaired
+        self._retired.repair_failed += old.stats_repair_failed
+        for result in old_results:
+            if not result.committed and result.abort_reason:
+                self._retired.aborts_by_reason[result.abort_reason] = (
+                    self._retired.aborts_by_reason.get(result.abort_reason, 0) + 1)
         self._retired_history.extend(old.committed_history)
 
         recovered, report = recover_proxy(old.storage, old.config,

@@ -97,17 +97,50 @@ class TransactionEngine(abc.ABC):
     # ------------------------------------------------------------------ #
     def run_closed_loop(self, factory_source: FactorySource, total_transactions: int,
                         clients: int = 32, max_retries: int = 2,
-                        max_batches: int = 10_000):
+                        max_batches: int = 10_000, conflict_strategy=None):
         """Run ``total_transactions`` closed loop and return a ``RunStats``.
 
         All engines share one loop implementation
         (:func:`repro.api.loop.run_closed_loop`): ``clients`` concurrent
         slots, aborted transactions retried up to ``max_retries`` times.
+        ``conflict_strategy`` picks how aborted attempts are resolved
+        (``"retry"``/``"repair"`` or a
+        :class:`~repro.concurrency.repair.ConflictStrategy`); ``None``
+        defers to the engine's own preference (:meth:`conflict_strategy`).
         """
         from repro.api.loop import run_closed_loop
         return run_closed_loop(self, factory_source, total_transactions,
                                clients=clients, max_retries=max_retries,
-                               max_batches=max_batches)
+                               max_batches=max_batches,
+                               conflict_strategy=conflict_strategy)
+
+    def conflict_strategy(self) -> str:
+        """The conflict-resolution strategy this engine prefers.
+
+        Loop drivers consult this when the caller passes
+        ``conflict_strategy=None``: ``"retry"`` (the default) leaves every
+        abort to the drivers' re-queue path; the Obladi adapter reports its
+        proxy's configured strategy, so an engine built with
+        ``EngineConfig.with_conflict_strategy("repair")`` gets repair-aware
+        driving without every call site threading the knob through.
+        """
+        return "retry"
+
+    def repair_many(self, factories: Sequence[ProgramFactory]
+                    ) -> Optional[List[TransactionResult]]:
+        """Hook: repair a wave's aborted programs immediately, or ``None``.
+
+        :class:`~repro.concurrency.repair.RepairStrategy` offers the
+        factories of a wave's aborted attempts here.  Engines that can
+        re-execute them against the wave's winning state return one result
+        per factory (entries may be ``None`` for attempts they could not
+        take); returning ``None`` — the default — declares repair
+        unsupported, and every abort falls back to the retry path.  The
+        Obladi engine repairs *inside* the epoch instead (the proxy's
+        repair pass), so it keeps this default.
+        """
+        del factories
+        return None
 
     # ------------------------------------------------------------------ #
     # Open-loop execution
@@ -115,7 +148,7 @@ class TransactionEngine(abc.ABC):
     def run_open_loop(self, factory_source: FactorySource, total_transactions: int,
                       arrivals=None, clients: int = 32,
                       queue_limit: Optional[int] = None, max_retries: int = 2,
-                      max_waves: int = 100_000):
+                      max_waves: int = 100_000, conflict_strategy=None):
         """Offer ``total_transactions`` open loop and return a ``RunStats``.
 
         Arrivals follow ``arrivals`` — an
@@ -132,7 +165,8 @@ class TransactionEngine(abc.ABC):
         return run_open_loop(self, factory_source, total_transactions,
                              arrivals=arrivals, clients=clients,
                              queue_limit=queue_limit, max_retries=max_retries,
-                             max_waves=max_waves)
+                             max_waves=max_waves,
+                             conflict_strategy=conflict_strategy)
 
     def open_loop_wave_limit(self) -> Optional[int]:
         """Engine-specific cap on one open-loop wave's size, or ``None``.

@@ -92,6 +92,13 @@ class EngineConfig:
     # single proxy; see ``repro.proxytier``).
     proxy_workers: Optional[int] = None
 
+    # Conflict resolution (Obladi only): what the proxy does with MVTSO
+    # conflict losers — ``"retry"`` (abort and let the loop drivers requeue,
+    # the historical default) or ``"repair"`` (re-execute against the
+    # winning versions inside the detecting epoch; ``repro.concurrency.
+    # repair``).  ``None`` = the system default ("retry").
+    conflict_strategy: Optional[str] = None
+
     # Durability / security toggles (Obladi only).
     durability: Optional[bool] = None
     encrypt: Optional[bool] = None
@@ -196,6 +203,20 @@ class EngineConfig:
         """
         return replace(self, proxy_workers=proxy_workers)
 
+    def with_conflict_strategy(self, strategy: str) -> "EngineConfig":
+        """Pick the conflict-resolution strategy (``"retry"``/``"repair"``).
+
+        ``"retry"`` (the default) aborts MVTSO conflict losers and lets the
+        loop drivers requeue them through ``RetryPolicy`` backoff —
+        byte-identical to the historical behaviour at fixed seeds.
+        ``"repair"`` re-executes losers against the winning versions inside
+        the epoch that detected the conflict, so salvaged transactions ride
+        the same padded write batch instead of costing a full extra
+        attempt (see ``repro.concurrency.repair`` and the "Conflict
+        resolution" chapter of ``docs/ARCHITECTURE.md``).
+        """
+        return replace(self, conflict_strategy=strategy)
+
     def with_parallelism(self, parallelism: int) -> "EngineConfig":
         """Cap the proxy's in-flight physical requests (and fan-out lanes).
 
@@ -262,7 +283,7 @@ class EngineConfig:
                            "batch_interval_ms", "durability", "encrypt",
                            "checkpoint_frequency", "shards", "partition_seed",
                            "storage_servers", "link_extra_rtt_ms", "parallelism",
-                           "proxy_workers"):
+                           "proxy_workers", "conflict_strategy"):
             value = getattr(self, field_name)
             if value is not None:
                 overrides[field_name] = value

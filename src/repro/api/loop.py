@@ -15,6 +15,14 @@ into this module:
   simulations use its :meth:`RetryPolicy.backoff_ms` so a conflict-aborted
   transaction is not replayed in lockstep (the jitter formula that used to
   be duplicated in ``nopriv.py`` and ``mysql_like.py``).
+
+Conflict resolution is a strategy seam (``repro.concurrency.repair``):
+after each wave the driver hands the aborted attempts to a
+:class:`~repro.concurrency.repair.ConflictStrategy`, which may replace them
+with repaired results; whatever it leaves unresolved goes through the
+re-queue path above.  The default :class:`~repro.concurrency.repair.
+RetryStrategy` resolves nothing, keeping fixed-seed runs byte-identical to
+the historical driver.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from typing import List, Tuple
 
 from repro.api.engine import FactorySource, ProgramFactory, TransactionEngine
 from repro.api.results import RunStats
+from repro.concurrency.repair import WaveEntry, as_conflict_strategy
 
 
 @dataclass(frozen=True)
@@ -109,19 +118,56 @@ def _counter_deltas(before: List[Tuple[int, int]],
             for i, (reads, writes) in enumerate(after)]
 
 
+def resolve_conflict_strategy(engine: TransactionEngine, conflict_strategy):
+    """The strategy a loop driver should run ``engine`` with.
+
+    ``None`` defers to the engine's own preference
+    (:meth:`~repro.api.engine.TransactionEngine.conflict_strategy`), so an
+    engine configured for repair gets repair-aware driving without the
+    caller threading the knob through; a name or strategy instance wins
+    over the engine preference.
+    """
+    if conflict_strategy is None:
+        conflict_strategy = engine.conflict_strategy()
+    return as_conflict_strategy(conflict_strategy)
+
+
+def account_final_result(stats: RunStats, result) -> None:
+    """Fold one final (post-strategy) result into the abort breakdown.
+
+    Shared by both loop drivers.  ``wasted_attempts`` counts discarded
+    work: every aborted attempt wastes one, and a failed repair wastes one
+    more on top of the abort it could not prevent — while a *successful*
+    repair salvages its attempt and wastes nothing.
+    """
+    if getattr(result, "repaired", False):
+        stats.repaired += 1
+    if getattr(result, "repair_failed", False):
+        stats.repair_failed += 1
+        stats.wasted_attempts += 1
+    if not result.committed:
+        stats.wasted_attempts += 1
+        if result.abort_reason:
+            stats.aborts_by_reason[result.abort_reason] = (
+                stats.aborts_by_reason.get(result.abort_reason, 0) + 1)
+
+
 def run_closed_loop(engine: TransactionEngine, factory_source: FactorySource,
                     total_transactions: int, clients: int = 32,
-                    max_retries: int = 2, max_batches: int = 10_000) -> RunStats:
+                    max_retries: int = 2, max_batches: int = 10_000,
+                    conflict_strategy=None) -> RunStats:
     """Run ``total_transactions`` through ``engine``, closed loop.
 
     Each iteration fills up to ``clients`` slots — retried programs first,
     then fresh draws from ``factory_source`` — and hands the wave to
-    ``engine.submit_many``.  A program whose attempt aborts is re-queued
-    until it has been retried ``max_retries`` times; afterwards its abort is
-    final and the slot draws fresh work.  ``max_batches`` bounds the loop
-    for pathological configurations (e.g. an epoch too small for any
-    transaction to finish).
+    ``engine.submit_many``.  The wave's aborted attempts are offered to the
+    ``conflict_strategy`` (see :func:`resolve_conflict_strategy`); whatever
+    it leaves aborted is re-queued until the program has been retried
+    ``max_retries`` times; afterwards its abort is final and the slot draws
+    fresh work.  ``max_batches`` bounds the loop for pathological
+    configurations (e.g. an epoch too small for any transaction to finish).
     """
+    strategy = resolve_conflict_strategy(engine, conflict_strategy)
     stats = RunStats(engine=engine.name)
     baseline = CounterBaseline.capture(engine)
 
@@ -144,11 +190,17 @@ def run_closed_loop(engine: TransactionEngine, factory_source: FactorySource,
         results = engine.submit_many([factory for factory, _ in wave])
         stats.epochs += 1
 
-        for (factory, attempts), result in zip(wave, results):
-            stats.results.append(result)
-            if result.committed:
+        replacements = strategy.resolve(engine, [
+            WaveEntry(index=i, factory=factory, attempts=attempts, result=result)
+            for i, ((factory, attempts), result) in enumerate(zip(wave, results))
+            if not result.committed])
+        for i, ((factory, attempts), result) in enumerate(zip(wave, results)):
+            final = replacements.get(i, result)
+            stats.results.append(final)
+            account_final_result(stats, final)
+            if final.committed:
                 stats.committed += 1
-                stats.latencies_ms.append(result.latency_ms)
+                stats.latencies_ms.append(final.latency_ms)
             else:
                 stats.aborted += 1
                 if attempts < max_retries:

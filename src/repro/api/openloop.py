@@ -143,7 +143,8 @@ def run_open_loop(engine: TransactionEngine, factory_source: FactorySource,
                   total_transactions: int,
                   arrivals: Union[ArrivalProcess, float, None] = None,
                   clients: int = 32, queue_limit: Optional[int] = None,
-                  max_retries: int = 2, max_waves: int = 100_000) -> RunStats:
+                  max_retries: int = 2, max_waves: int = 100_000,
+                  conflict_strategy=None) -> RunStats:
     """Offer ``total_transactions`` to ``engine`` according to ``arrivals``.
 
     Each iteration admits every arrival whose instant has passed into the
@@ -162,10 +163,17 @@ def run_open_loop(engine: TransactionEngine, factory_source: FactorySource,
     :class:`~repro.api.results.RunStats`.  ``max_waves`` bounds the loop for
     pathological configurations, exactly like the closed loop's
     ``max_batches``.
+
+    ``conflict_strategy`` mirrors the closed loop's: the wave's aborted
+    attempts are offered to the strategy before the retry pool sees them
+    (``None`` defers to the engine's preference).
     """
-    from repro.api.loop import CounterBaseline
+    from repro.api.loop import (CounterBaseline, account_final_result,
+                                resolve_conflict_strategy)
+    from repro.concurrency.repair import WaveEntry
 
     process = as_arrival_process(arrivals)
+    strategy = resolve_conflict_strategy(engine, conflict_strategy)
     stats = RunStats(engine=engine.name)
     baseline = CounterBaseline.capture(engine)
     start_ms = baseline.start_ms
@@ -222,11 +230,17 @@ def run_open_loop(engine: TransactionEngine, factory_source: FactorySource,
         stats.epochs += 1
         engine.record_open_loop_wave(queue_depth=backlog, dropped=stats.dropped)
 
-        for (factory, attempts, enqueued_ms), result in zip(wave, results):
-            stats.results.append(result)
-            if result.committed:
+        replacements = strategy.resolve(engine, [
+            WaveEntry(index=i, factory=factory, attempts=attempts, result=result)
+            for i, ((factory, attempts, _), result) in enumerate(zip(wave, results))
+            if not result.committed])
+        for i, ((factory, attempts, enqueued_ms), result) in enumerate(zip(wave, results)):
+            final = replacements.get(i, result)
+            stats.results.append(final)
+            account_final_result(stats, final)
+            if final.committed:
                 stats.committed += 1
-                stats.latencies_ms.append(result.latency_ms)
+                stats.latencies_ms.append(final.latency_ms)
                 stats.queue_delays_ms.append(dispatch_ms - enqueued_ms)
             else:
                 stats.aborted += 1

@@ -99,6 +99,23 @@ class RunStats:
         run finished, or ``None`` when no auditor was attached.  Excluded
         from ``repr`` and ``==`` so audited fixed-seed runs compare
         byte-identical to unaudited ones.
+    repaired / repair_failed:
+        Conflict-repair accounting (``repro.concurrency.repair``): final
+        results whose transaction lost an MVTSO conflict but was repaired
+        and committed, and repair attempts that still ended in an abort.
+        Both stay 0 under the default retry strategy.
+    wasted_attempts:
+        Work discarded before commit: every aborted attempt counts one,
+        and a failed repair counts one more (the repair work on top of the
+        abort it could not prevent); a successful repair salvages its
+        attempt and adds nothing.  This is the retry-vs-repair
+        amplification measure of the knee sweep.
+    aborts_by_reason:
+        Final aborts broken out by ``AbortReason.value`` (e.g.
+        ``{"write_conflict": 3, "epoch_boundary": 1}``).
+        Like ``audit``, the four fields above are excluded from ``repr``
+        and ``==`` so fixed-seed retry runs stay byte-identical to
+        pre-repair output.
     """
 
     engine: str = ""
@@ -122,6 +139,10 @@ class RunStats:
     # Typed as object to avoid importing repro.audit here (the audit package
     # sits above the api layer); holds an AuditReport when an auditor ran.
     audit: Optional[object] = field(default=None, repr=False, compare=False)
+    repaired: int = field(default=0, repr=False, compare=False)
+    repair_failed: int = field(default=0, repr=False, compare=False)
+    wasted_attempts: int = field(default=0, repr=False, compare=False)
+    aborts_by_reason: dict = field(default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # Derived metrics

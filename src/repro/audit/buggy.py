@@ -123,6 +123,14 @@ class BuggyEngine(TransactionEngine):
         """The *corrupted* committed history (the lie under audit)."""
         return list(self._history)
 
+    def conflict_strategy(self) -> str:
+        """The inner engine's preferred conflict strategy (pass-through)."""
+        return self.inner.conflict_strategy()
+
+    def repair_many(self, factories):
+        """Delegate driver-level repair to the inner engine (usually ``None``)."""
+        return self.inner.repair_many(factories)
+
     def open_loop_wave_limit(self):
         """Delegate the wave-size cap to the wrapped engine."""
         return self.inner.open_loop_wave_limit()

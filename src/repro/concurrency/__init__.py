@@ -8,8 +8,12 @@ causes late writers to abort.  Transactions that observed uncommitted data
 record write-read dependencies and abort in cascade if a dependency aborts.
 
 The package also contains a strict two-phase-locking store used by the
-"MySQL" baseline of Figure 9 and a serialization-graph checker used by the
-test suite to validate that every committed history really is serializable.
+"MySQL" baseline of Figure 9, a serialization-graph checker used by the
+test suite to validate that every committed history really is serializable,
+and the pluggable conflict-resolution seam (``repro.concurrency.repair``):
+abort+retry as :class:`RetryStrategy` (the default) and transaction repair
+as :class:`RepairStrategy`, with :meth:`MVTSOManager.stale_reads` supplying
+the conflict witness (which reads went stale, which writer won).
 """
 
 from repro.concurrency.transaction import TransactionRecord, TransactionStatus
@@ -21,6 +25,10 @@ from repro.concurrency.serializability import (SerializationGraph,
                                                check_serializable)
 from repro.concurrency.transaction import CommittedTransaction
 from repro.concurrency.two_phase_locking import LockManager, LockMode, DeadlockError
+from repro.concurrency.repair import (CONFLICT_STRATEGIES, ConflictStrategy,
+                                      ConflictWitness, RepairStrategy,
+                                      RetryStrategy, WaveEntry,
+                                      as_conflict_strategy)
 
 __all__ = [
     "TransactionRecord",
@@ -38,4 +46,11 @@ __all__ = [
     "LockManager",
     "LockMode",
     "DeadlockError",
+    "CONFLICT_STRATEGIES",
+    "ConflictStrategy",
+    "ConflictWitness",
+    "RetryStrategy",
+    "RepairStrategy",
+    "WaveEntry",
+    "as_conflict_strategy",
 ]

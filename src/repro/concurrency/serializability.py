@@ -28,9 +28,11 @@ class SerializationGraph:
     edge_labels: Dict[Tuple[int, int], Set[str]] = field(default_factory=lambda: defaultdict(set))
 
     def add_node(self, txn_id: int) -> None:
+        """Add a committed transaction to the graph."""
         self.nodes.add(txn_id)
 
     def add_edge(self, src: int, dst: int, label: str) -> None:
+        """Add a labelled dependency edge ``src -> dst`` (self-loops ignored)."""
         if src == dst:
             return
         self.nodes.add(src)
@@ -79,6 +81,7 @@ class SerializationGraph:
         return None
 
     def is_acyclic(self) -> bool:
+        """Whether the graph admits a serial order (no dependency cycle)."""
         return self.find_cycle() is None
 
     def topological_order(self) -> List[int]:

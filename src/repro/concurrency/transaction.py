@@ -51,24 +51,29 @@ class TransactionRecord:
     # ------------------------------------------------------------------ #
     @property
     def is_active(self) -> bool:
+        """Whether the transaction is still executing (not yet finalised)."""
         return self.status is TransactionStatus.ACTIVE
 
     @property
     def is_finished(self) -> bool:
+        """Whether the transaction reached a terminal state."""
         return self.status in (TransactionStatus.COMMITTED, TransactionStatus.ABORTED)
 
     def request_commit(self) -> None:
+        """Move an active transaction to COMMIT_REQUESTED (awaiting the boundary)."""
         if self.status is not TransactionStatus.ACTIVE:
             raise ValueError(f"cannot request commit from state {self.status}")
         self.status = TransactionStatus.COMMIT_REQUESTED
 
     def mark_committed(self, now_ms: float = 0.0) -> None:
+        """Finalise the transaction as committed at ``now_ms``."""
         if self.status is TransactionStatus.ABORTED:
             raise ValueError("cannot commit an aborted transaction")
         self.status = TransactionStatus.COMMITTED
         self.finish_time_ms = now_ms
 
     def mark_aborted(self, reason: AbortReason, now_ms: float = 0.0) -> None:
+        """Finalise the transaction as aborted for ``reason`` at ``now_ms``."""
         if self.status is TransactionStatus.COMMITTED:
             raise ValueError("cannot abort a committed transaction")
         self.status = TransactionStatus.ABORTED
@@ -79,12 +84,14 @@ class TransactionRecord:
     # Read/write tracking
     # ------------------------------------------------------------------ #
     def record_read(self, key: str, writer_ts: int, writer_txn: Optional[int] = None) -> None:
+        """Note that this transaction observed ``key``'s version written at ``writer_ts``."""
         self.read_set[key] = writer_ts
         self.operations += 1
         if writer_txn is not None and writer_txn != self.txn_id:
             self.dependencies.add(writer_txn)
 
     def record_write(self, key: str, value: Optional[bytes]) -> None:
+        """Note that this transaction buffered ``value`` for ``key``."""
         self.write_set[key] = value
         self.operations += 1
 
@@ -107,6 +114,7 @@ class CommittedTransaction:
 
     @classmethod
     def from_record(cls, record: TransactionRecord) -> "CommittedTransaction":
+        """Freeze a committed ``TransactionRecord`` into its history entry."""
         return cls(
             txn_id=record.txn_id,
             timestamp=record.timestamp,

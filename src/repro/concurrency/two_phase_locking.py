@@ -174,11 +174,14 @@ class LockManager:
     # Introspection
     # ------------------------------------------------------------------ #
     def locks_held(self, txn_id: int) -> Set[str]:
+        """The keys ``txn_id`` currently holds locks on."""
         return set(self._held_by_txn.get(txn_id, set()))
 
     def holders(self, key: str) -> Dict[int, LockMode]:
+        """The transactions holding ``key`` and the mode each holds."""
         return dict(self._locks[key].holders)
 
     def is_waiting(self, txn_id: int) -> bool:
+        """Whether ``txn_id`` is blocked in some key's waiter queue."""
         return any(txn_id == waiter for state in self._locks.values()
                    for waiter, _ in state.waiters)

@@ -73,6 +73,7 @@ class VersionChain:
         return before - len(self.versions)
 
     def writer_timestamps(self) -> List[int]:
+        """The writer timestamps of every version, oldest first."""
         return [v.writer_ts for v in self.versions]
 
     def __len__(self) -> int:
@@ -86,6 +87,7 @@ class VersionStore:
         self._chains: Dict[str, VersionChain] = {}
 
     def chain(self, key: str) -> VersionChain:
+        """The version chain for ``key``, created empty on first access."""
         chain = self._chains.get(key)
         if chain is None:
             chain = VersionChain(key=key)
@@ -93,9 +95,11 @@ class VersionStore:
         return chain
 
     def get_chain(self, key: str) -> Optional[VersionChain]:
+        """The version chain for ``key``, or ``None`` if no write touched it."""
         return self._chains.get(key)
 
     def keys(self) -> List[str]:
+        """Every key with a chain, sorted."""
         return sorted(self._chains)
 
     def __contains__(self, key: str) -> bool:
@@ -105,9 +109,11 @@ class VersionStore:
         return len(self._chains)
 
     def items(self) -> Iterator[Tuple[str, VersionChain]]:
+        """Iterate over ``(key, chain)`` pairs."""
         return iter(self._chains.items())
 
     def clear(self) -> None:
+        """Drop every chain (used when an epoch's cache is discarded)."""
         self._chains.clear()
 
     def latest_committed_values(self) -> Dict[str, Optional[bytes]]:

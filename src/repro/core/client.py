@@ -25,7 +25,7 @@ blocking façade over a single-transaction epoch: ``txn.read(key)`` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, Iterable, List, Optional, Tuple, Union
 
 
@@ -90,7 +90,16 @@ TransactionProgram = Callable[..., Generator[Operation, Optional[bytes], object]
 
 @dataclass
 class TransactionResult:
-    """Outcome of one transaction as reported to the client."""
+    """Outcome of one transaction as reported to the client.
+
+    ``repaired``/``repair_failed`` record whether the result went through a
+    conflict-repair pass (``repro.concurrency.repair``): ``repaired`` means
+    the transaction lost an MVTSO conflict but was re-executed against the
+    winning versions and committed; ``repair_failed`` means repair was
+    attempted and the transaction still aborted.  Both are excluded from
+    ``repr`` and ``==`` so fixed-seed runs under the default retry strategy
+    stay byte-identical to historical output.
+    """
 
     txn_id: int
     committed: bool
@@ -98,6 +107,8 @@ class TransactionResult:
     abort_reason: Optional[str] = None
     latency_ms: float = 0.0
     epoch: int = -1
+    repaired: bool = field(default=False, repr=False, compare=False)
+    repair_failed: bool = field(default=False, repr=False, compare=False)
 
 
 def static_program(reads: Iterable[str],

@@ -100,6 +100,15 @@ class ObladiConfig:
     # hosts): any combination is valid.
     proxy_workers: int = 1
 
+    # Conflict resolution: what the proxy does with transactions that lose
+    # an MVTSO conflict (a late write hit a read marker, or a dependency
+    # aborted).  "retry" (the default, byte-identical to the historical
+    # behaviour) leaves recovery to the loop drivers' abort+retry path;
+    # "repair" re-executes losers against the winning versions inside the
+    # epoch that detected the conflict, under the same epoch barrier
+    # (``repro.concurrency.repair``).
+    conflict_strategy: str = "retry"
+
     # Security toggles (used by ablation benchmarks).
     encrypt: bool = True
     dummiless_writes: bool = True
@@ -143,6 +152,10 @@ class ObladiConfig:
                 f"storage_servers (={self.storage_servers}, untrusted "
                 f"hosts) — any combination of the three is valid, but each "
                 f"knob must be >= 1")
+        if self.conflict_strategy not in ("retry", "repair"):
+            raise ValueError(
+                f"unknown conflict_strategy {self.conflict_strategy!r}; "
+                f"valid: retry, repair")
 
     # ------------------------------------------------------------------ #
     # Derived quantities

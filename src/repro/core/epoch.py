@@ -38,6 +38,13 @@ class EpochState:
     committed_txn_ids: List[int] = field(default_factory=list)
     aborted_txn_ids: List[int] = field(default_factory=list)
 
+    # Conflict-resolution observability: the epoch's aborts broken out by
+    # ``AbortReason.value``, and the transactions the in-epoch repair pass
+    # salvaged (committed after repair) or failed to salvage.
+    aborts_by_reason: Dict[str, int] = field(default_factory=dict)
+    repaired_txn_ids: List[int] = field(default_factory=list)
+    repair_failed_txn_ids: List[int] = field(default_factory=list)
+
     read_batches_dispatched: int = 0
     physical_read_keys: List[List[str]] = field(default_factory=list)
     write_batch_keys: List[str] = field(default_factory=list)
@@ -82,6 +89,12 @@ class EpochSummary:
     concurrency-control operations per proxy worker for this epoch.  The
     single-proxy path reports no breakdown (empty tuple).
 
+    ``aborts_by_reason`` breaks the epoch's aborts out by
+    ``AbortReason.value`` as sorted ``(reason, count)`` pairs, and
+    ``repaired``/``repair_failed`` count the transactions the in-epoch
+    repair pass salvaged or gave up on (both stay 0 under the default
+    ``conflict_strategy="retry"``).
+
     ``queue_depth``/``arrivals_dropped`` mirror the open-loop load
     generator's admission queue when the epoch was one of its waves
     (:func:`repro.api.openloop.run_open_loop` — for the Obladi engine one
@@ -101,6 +114,9 @@ class EpochSummary:
     worker_ops: tuple = ()
     queue_depth: int = 0
     arrivals_dropped: int = 0
+    aborts_by_reason: tuple = ()
+    repaired: int = 0
+    repair_failed: int = 0
 
     @classmethod
     def from_state(cls, state: EpochState, physical_reads: int,
@@ -117,4 +133,7 @@ class EpochSummary:
             physical_writes=physical_writes,
             partition_physical=tuple(partition_physical),
             worker_ops=tuple(worker_ops),
+            aborts_by_reason=tuple(sorted(state.aborts_by_reason.items())),
+            repaired=len(state.repaired_txn_ids),
+            repair_failed=len(state.repair_failed_txn_ids),
         )

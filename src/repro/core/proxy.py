@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, Iterable, List, Optional, Sequence, Union
 
 from repro.concurrency.mvtso import MVTSOManager, WriteConflictError
+from repro.concurrency.repair import ConflictWitness
 from repro.concurrency.transaction import (AbortReason, CommittedTransaction,
                                            TransactionRecord, TransactionStatus)
 from repro.core.batch_manager import BatchManager
@@ -53,6 +54,11 @@ class _ActiveTransaction:
     finished: bool = False
     return_value: object = None
     started: bool = False
+    # Conflict repair: the txn id the client knows this transaction by (set
+    # when a repair re-executes it under a fresh MVTSO record), and how many
+    # repair attempts it has consumed this epoch.
+    result_txn_id: Optional[int] = None
+    repair_attempts: int = 0
 
     @property
     def waiting(self) -> bool:
@@ -140,6 +146,13 @@ class ObladiProxy:
         self.epoch_summaries: List[EpochSummary] = []
         self.stats_committed = 0
         self.stats_aborted = 0
+        # Conflict-repair accounting (``conflict_strategy="repair"``): how
+        # many conflict losers the in-epoch repair pass salvaged / gave up
+        # on, and the conflict witnesses (which reads went stale, which
+        # writer won) collected per repair attempt.
+        self.stats_repaired = 0
+        self.stats_repair_failed = 0
+        self.repair_witnesses: List[ConflictWitness] = []
 
     # ------------------------------------------------------------------ #
     # Public client API
@@ -419,7 +432,7 @@ class ObladiProxy:
         an ORAM batch slot.
         """
         cache = self.data_layer.cache
-        chain = cache.store.get_chain(key)
+        chain = self.mvtso.store.get_chain(key)
         has_epoch_version = chain is not None and chain.latest_visible(
             active.record.timestamp) is not None
         if has_epoch_version:
@@ -446,7 +459,7 @@ class ObladiProxy:
             def _available(key: str) -> bool:
                 if self.data_layer.has_cached(key):
                     return True
-                chain = self.data_layer.cache.store.get_chain(key)
+                chain = self.mvtso.store.get_chain(key)
                 return (chain is not None
                         and chain.latest_visible(active.record.timestamp) is not None)
 
@@ -503,6 +516,13 @@ class ObladiProxy:
             if not self.mvtso.can_commit(record):
                 self.mvtso.abort(record, AbortReason.CASCADE, now_ms=now)
 
+        # Conflict repair: with ``conflict_strategy="repair"`` the epoch's
+        # conflict losers are re-executed against the winning versions now,
+        # before the write batch is built, so salvaged transactions ride the
+        # same padded batch their abort was detected in.
+        if self.config.conflict_strategy == "repair":
+            self._repair_conflict_losers(admitted, state, now)
+
         # The write batch may overflow; shed the youngest writers until it fits.
         write_back = self._collect_write_back(admitted)
         while True:
@@ -552,29 +572,120 @@ class ObladiProxy:
         end_ms = self.clock.now_ms
         state.finish(EpochPhase.COMMITTED, end_ms)
 
-        # Client notification.
+        # Client notification.  A repaired transaction keeps reporting under
+        # its original txn id (``result_txn_id``) even though its repaired
+        # execution ran under a fresh MVTSO record.
         for active in admitted:
             record = active.record
             committed = record.status is TransactionStatus.COMMITTED
+            result_txn_id = (record.txn_id if active.result_txn_id is None
+                             else active.result_txn_id)
+            repaired = active.repair_attempts > 0 and committed
+            repair_failed = active.repair_attempts > 0 and not committed
+            record.finish_time_ms = end_ms
             if committed:
-                record.finish_time_ms = end_ms
                 state.committed_txn_ids.append(record.txn_id)
                 self.stats_committed += 1
                 self.committed_history.append(CommittedTransaction.from_record(record))
+                if repaired:
+                    state.repaired_txn_ids.append(record.txn_id)
+                    self.stats_repaired += 1
             else:
-                record.finish_time_ms = end_ms
                 state.aborted_txn_ids.append(record.txn_id)
                 self.stats_aborted += 1
-            self.results[record.txn_id] = TransactionResult(
-                txn_id=record.txn_id,
+                if record.abort_reason is not None:
+                    reason = record.abort_reason.value
+                    state.aborts_by_reason[reason] = (
+                        state.aborts_by_reason.get(reason, 0) + 1)
+                if repair_failed:
+                    state.repair_failed_txn_ids.append(record.txn_id)
+                    self.stats_repair_failed += 1
+            self.results[result_txn_id] = TransactionResult(
+                txn_id=result_txn_id,
                 committed=committed,
                 return_value=active.return_value if committed else None,
                 abort_reason=record.abort_reason.value if record.abort_reason else None,
                 latency_ms=record.latency_ms(),
                 epoch=state.epoch_id,
+                repaired=repaired,
+                repair_failed=repair_failed,
             )
 
         self.mvtso.reset_epoch_state()
+
+    #: Abort reasons the in-epoch repair pass may attempt to fix (a late
+    #: write hit a read marker, or a dependency aborted).  Anything else —
+    #: epoch-boundary starvation, a full batch, a crash, a voluntary abort —
+    #: would replay identically, so repair skips it.
+    _REPAIRABLE_REASONS = (AbortReason.WRITE_CONFLICT, AbortReason.CASCADE)
+
+    def _repair_conflict_losers(self, admitted: List[_ActiveTransaction],
+                                state: EpochState, now: float) -> None:
+        """In-epoch transaction repair: re-run conflict losers against the winners.
+
+        For each admitted transaction that lost an MVTSO conflict (and only
+        those — see ``_REPAIRABLE_REASONS``), record its conflict witness,
+        then re-execute its program under a fresh MVTSO record.  The fresh
+        record gets the epoch's highest timestamp, so its re-reads observe
+        exactly the winning versions (aborted versions are invisible) and
+        its writes cannot conflict with any read marker already placed.
+        Re-execution is *cache-only*: every key the epoch fetched is still
+        resident, and repair must not trigger new ORAM batches — the
+        epoch's padded read schedule is already fixed.  A repair that needs
+        an unfetched key aborts at the epoch boundary and the transaction
+        falls back to the loop drivers' retry path (``repair_failed``).
+
+        Each transaction gets at most one repair attempt per epoch, and the
+        client keeps seeing the original txn id (``result_txn_id``); the
+        committed history records the repaired execution, which is the one
+        whose reads and writes actually took effect.
+        """
+        repaired_records: List[TransactionRecord] = []
+        for active in sorted(admitted, key=lambda a: a.record.timestamp):
+            old = active.record
+            if old.status is not TransactionStatus.ABORTED:
+                continue
+            if old.abort_reason not in self._REPAIRABLE_REASONS:
+                continue
+            if active.repair_attempts > 0 or not callable(active.program):
+                continue
+            self.repair_witnesses.append(ConflictWitness.from_record(self.mvtso, old))
+            active.repair_attempts += 1
+            if active.result_txn_id is None:
+                active.result_txn_id = old.txn_id
+            fresh = self.mvtso.begin(state.epoch_id, now_ms=old.start_time_ms)
+            fresh.start_time_ms = old.start_time_ms
+            # The epoch is past admission (WRITE_BACK), so the record joins
+            # the epoch's transaction table directly rather than via admit().
+            state.transactions[fresh.txn_id] = fresh
+            active.record = fresh
+            active.generator = active.program()
+            active.started = False
+            active.finished = False
+            active.waiting_keys = []
+            active.waiting_multi = False
+            active.pending_value = None
+            active.has_pending_value = False
+            active.return_value = None
+            self._advance_transactions([active], state, final_round=True)
+            if fresh.status is TransactionStatus.COMMIT_REQUESTED:
+                repaired_records.append(fresh)
+        if repaired_records:
+            self._prepare_repaired(repaired_records)
+            for record in repaired_records:
+                if not self.mvtso.can_commit(record):
+                    self.mvtso.abort(record, AbortReason.CASCADE, now_ms=now)
+        # Repair work is ordinary concurrency-control CPU; charge it before
+        # the commit timestamps are taken.
+        self._charge_cc()
+
+    def _prepare_repaired(self, records: List[TransactionRecord]) -> None:
+        """Hook: pre-commit preparation for repaired transactions.
+
+        The single proxy needs none.  The sharded proxy tier overrides this
+        to run repaired records through the epoch-barrier vote, so their
+        commit check carries per-worker votes like any other transaction's.
+        """
 
     def _collect_write_back(self, admitted: List[_ActiveTransaction]) -> Dict[str, Optional[bytes]]:
         """Latest value per key among transactions that are still commit-eligible."""

@@ -445,7 +445,8 @@ class SaturationRow:
 
 
 def _saturation_engine(kind: str, clients: int, shards: int, proxy_workers: int,
-                       num_accounts: int, seed: int):
+                       num_accounts: int, seed: int,
+                       conflict_strategy: Optional[str] = None):
     """A small, fast engine sized so ``clients`` fit in one epoch wave."""
     config = (EngineConfig()
               .with_workload("smallbank")
@@ -460,6 +461,8 @@ def _saturation_engine(kind: str, clients: int, shards: int, proxy_workers: int,
               .with_durability(False)
               .with_encryption(False)
               .with_seed(seed))
+    if conflict_strategy is not None:
+        config = config.with_conflict_strategy(conflict_strategy)
     return create_engine(kind, config)
 
 
@@ -538,6 +541,115 @@ def run_saturation_sweep(kinds: Sequence[str] = ("obladi", "nopriv"),
                 audit_ok=audit.ok if audit is not None else True,
                 audit_max_retained=(audit.max_retained_nodes
                                     if audit is not None else 0),
+            ))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Conflict resolution: retry vs repair at the contention knee
+# --------------------------------------------------------------------------- #
+@dataclass
+class RepairComparisonRow:
+    """One strategy x offered-load point of the retry-vs-repair knee sweep."""
+
+    strategy: str                 # "retry" or "repair"
+    rate_multiplier: float        # offered rate as a fraction of the ceiling
+    target_rate_tps: float
+    achieved_tps: float
+    committed: int
+    aborted: int
+    retries: int
+    repaired: int                 # conflict losers salvaged in-epoch
+    repair_failed: int            # repair attempts that still aborted
+    wasted_attempts: int          # discarded work (aborts + failed repairs)
+    abort_rate: float
+    mean_total_latency_ms: float
+    closed_loop_tps: float        # this strategy's own closed-loop ceiling
+    audit_ok: bool = True         # streaming serializability verdict
+
+
+def run_repair_comparison(rate_multipliers: Sequence[float] = (1.0, 2.0, 4.0),
+                          transactions: int = 96, clients: int = 16,
+                          num_accounts: int = 400,
+                          hotspot_probability: float = 0.9,
+                          shards: int = 1, proxy_workers: int = 1,
+                          arrival_seed: int = 7, seed: int = 11,
+                          workload: str = "smallbank") -> List[RepairComparisonRow]:
+    """Head-to-head retry vs repair on a contended workload at the knee.
+
+    Reuses the saturation-sweep method (closed-loop ceiling first, then
+    seeded-Poisson arrivals at ``multiplier x ceiling``) but pins the
+    workload to a contended shape — ``workload="smallbank"`` puts
+    ``hotspot_probability`` of operations on the hot 10% of accounts;
+    ``workload="ycsb"`` draws keys Zipfian(0.99) over ``num_accounts``
+    records — so MVTSO conflicts dominate, and runs every point twice:
+    once under ``conflict_strategy="retry"`` (losers re-queue through
+    backoff and re-execute from scratch) and once under ``"repair"``
+    (losers re-execute against the winning versions inside the epoch that
+    detected the conflict).  At and past the knee the retry path
+    amplifies hotspot work — every loser's full re-execution conflicts
+    again with high probability — while repair resolves most losers
+    within their epoch; the rows expose exactly that difference through
+    ``repaired`` / ``wasted_attempts`` / ``achieved_tps``.
+
+    Every open-loop point runs with a streaming serializability auditor
+    attached, so each row certifies its own (possibly repaired) history.
+    """
+    from repro.api.openloop import PoissonArrivals
+    from repro.audit import AuditingObserver
+
+    def hotspot_workload():
+        if workload == "ycsb":
+            return YCSBWorkload(YCSBConfig(
+                num_records=num_accounts, distribution="zipfian",
+                zipfian_theta=0.99, read_proportion=0.3,
+                update_proportion=0.7, seed=seed))
+        if workload != "smallbank":
+            raise ValueError(f"unknown workload {workload!r}; "
+                             f"expected 'smallbank' or 'ycsb'")
+        return SmallBankWorkload(SmallBankConfig(
+            num_accounts=num_accounts,
+            hotspot_probability=hotspot_probability, seed=seed))
+
+    rows: List[RepairComparisonRow] = []
+    for strategy in ("retry", "repair"):
+        load = hotspot_workload()
+        engine = _saturation_engine("obladi", clients, shards, proxy_workers,
+                                    num_accounts, seed,
+                                    conflict_strategy=strategy)
+        engine.load_initial_data(load.initial_data())
+        ceiling = engine.run_closed_loop(load.transaction_factory,
+                                         total_transactions=transactions,
+                                         clients=clients)
+
+        for multiplier in rate_multipliers:
+            load = hotspot_workload()
+            engine = _saturation_engine("obladi", clients, shards,
+                                        proxy_workers, num_accounts, seed,
+                                        conflict_strategy=strategy)
+            engine.load_initial_data(load.initial_data())
+            engine.attach_observer(AuditingObserver())
+            rate = max(1e-6, multiplier * ceiling.throughput_tps)
+            run = engine.run_open_loop(load.transaction_factory,
+                                       total_transactions=transactions,
+                                       arrivals=PoissonArrivals(rate, seed=arrival_seed),
+                                       clients=clients)
+            audit = run.audit
+            rows.append(RepairComparisonRow(
+                strategy=strategy,
+                rate_multiplier=multiplier,
+                target_rate_tps=rate,
+                achieved_tps=run.achieved_tps,
+                committed=run.committed,
+                aborted=run.aborted,
+                retries=run.retries,
+                repaired=run.repaired,
+                repair_failed=run.repair_failed,
+                wasted_attempts=run.wasted_attempts,
+                abort_rate=run.abort_rate,
+                mean_total_latency_ms=run.average_total_latency_ms,
+                closed_loop_tps=ceiling.throughput_tps,
+                audit_ok=audit.ok if audit is not None else True,
             ))
     return rows
 

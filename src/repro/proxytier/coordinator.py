@@ -178,6 +178,17 @@ class ProxyCoordinator(ObladiProxy):
         self.mvtso.prepare_epoch([active.record for active in admitted])
         super()._finalize_epoch(admitted, state)
 
+    def _prepare_repaired(self, records) -> None:
+        """Vote repaired transactions through the epoch barrier.
+
+        A repaired transaction runs under a fresh MVTSO record created
+        after the epoch's main prepare round, so the coordinator holds a
+        second, smaller prepare for exactly those records: the workers that
+        served its re-execution vote on it, and the memoized decision feeds
+        the commit pass like any other transaction's.
+        """
+        self.mvtso.prepare_epoch(records)
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #

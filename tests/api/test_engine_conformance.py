@@ -27,28 +27,43 @@ from repro.core.client import Read, ReadMany, Write
 
 NUM_KEYS = 24
 
-#: (kind, shards, storage_servers, proxy_workers) variants the whole suite
-#: runs against: the three engines, the sharded-colocated Obladi topology,
-#: the one-server-per-partition topology, the sharded proxy tier over the
-#: single-tree data path, and the fully stacked deployment.
-ENGINE_VARIANTS = [(kind, 1, 1, 1) for kind in ENGINE_KINDS] + \
+#: Every variant runs under both conflict strategies: ``retry`` (the
+#: pre-seam default) and ``repair`` (in-epoch conflict repair).  Engines
+#: without a repair path fall back to retry through the strategy seam, so
+#: the repair variants double as fallback conformance.
+STRATEGIES = ("retry", "repair")
+
+#: (kind, shards, storage_servers, proxy_workers, strategy) variants the
+#: whole suite runs against: the three engines, the sharded-colocated
+#: Obladi topology, the one-server-per-partition topology, the sharded
+#: proxy tier over the single-tree data path, and the fully stacked
+#: deployment — each under both conflict strategies.
+_BASE_VARIANTS = [(kind, 1, 1, 1) for kind in ENGINE_KINDS] + \
     [("obladi", 4, 1, 1), ("obladi", 4, 4, 1),
      ("obladi", 1, 1, 4), ("obladi", 4, 4, 4)]
+ENGINE_VARIANTS = [variant + (strategy,) for variant in _BASE_VARIANTS
+                   for strategy in STRATEGIES]
 
-#: (shards, storage_servers, proxy_workers) topologies for the
+#: (shards, storage_servers, proxy_workers, strategy) for the
 #: Obladi-specific tests (crash/recover runs against every one).
-OBLADI_TOPOLOGIES = [(1, 1, 1), (4, 1, 1), (4, 4, 1), (1, 1, 4), (4, 4, 4)]
+OBLADI_TOPOLOGIES = [topology + (strategy,)
+                     for topology in [(1, 1, 1), (4, 1, 1), (4, 4, 1),
+                                      (1, 1, 4), (4, 4, 4)]
+                     for strategy in STRATEGIES]
 
 #: Variants for the open-loop path: every engine, and the Obladi engine
 #: across the full shards x proxy_workers grid — offered load is a new
-#: *scenario axis* and must behave identically over every topology.
-OPEN_LOOP_VARIANTS = [("nopriv", 1, 1, 1), ("mysql", 1, 1, 1)] + \
-    [("obladi", shards, 1, workers)
-     for shards in (1, 4) for workers in (1, 4)]
+#: *scenario axis* and must behave identically over every topology and
+#: under either conflict strategy.
+OPEN_LOOP_VARIANTS = [variant + (strategy,)
+                      for variant in [("nopriv", 1, 1, 1), ("mysql", 1, 1, 1)]
+                      + [("obladi", shards, 1, workers)
+                         for shards in (1, 4) for workers in (1, 4)]
+                      for strategy in STRATEGIES]
 
 
 def _variant_id(variant) -> str:
-    kind, shards, servers, workers = variant
+    kind, shards, servers, workers, strategy = variant
     parts = [kind]
     if shards > 1:
         parts.append(f"shards{shards}")
@@ -56,11 +71,12 @@ def _variant_id(variant) -> str:
         parts.append(f"servers{servers}")
     if workers > 1:
         parts.append(f"workers{workers}")
+    parts.append(strategy)
     return "-".join(parts)
 
 
 def _config(shards: int = 1, storage_servers: int = 1,
-            proxy_workers: int = 1) -> EngineConfig:
+            proxy_workers: int = 1, strategy: str = "retry") -> EngineConfig:
     return (EngineConfig()
             .with_oram(num_blocks=512, z_real=8, block_size=128)
             .with_batching(read_batches=3, read_batch_size=32, write_batch_size=32)
@@ -69,13 +85,14 @@ def _config(shards: int = 1, storage_servers: int = 1,
             .with_proxy_workers(proxy_workers)
             .with_durability(False)
             .with_encryption(False)
+            .with_conflict_strategy(strategy)
             .with_seed(3))
 
 
 @pytest.fixture(params=ENGINE_VARIANTS, ids=_variant_id)
 def engine(request) -> TransactionEngine:
-    kind, shards, servers, workers = request.param
-    eng = create_engine(kind, _config(shards, servers, workers))
+    kind, shards, servers, workers, strategy = request.param
+    eng = create_engine(kind, _config(shards, servers, workers, strategy))
     eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
     return eng
 
@@ -238,10 +255,11 @@ class TestCrashRecovery:
         with pytest.raises(EngineFeatureUnavailable):
             engine.recover()
 
-    @pytest.mark.parametrize("shards,servers,workers", OBLADI_TOPOLOGIES)
-    def test_obladi_crash_recover_round_trip(self, shards, servers, workers):
-        eng = create_engine("obladi",
-                            _config(shards, servers, workers).with_durability(True))
+    @pytest.mark.parametrize("shards,servers,workers,strategy", OBLADI_TOPOLOGIES)
+    def test_obladi_crash_recover_round_trip(self, shards, servers, workers,
+                                             strategy):
+        eng = create_engine("obladi", _config(shards, servers, workers,
+                                              strategy).with_durability(True))
         eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
         assert eng.supports_crash_recovery
         eng.submit(append_program("k1"))
@@ -249,11 +267,11 @@ class TestCrashRecovery:
         eng.recover()
         assert eng.read("k1") == b"0x"
 
-    @pytest.mark.parametrize("shards,servers,workers", OBLADI_TOPOLOGIES)
+    @pytest.mark.parametrize("shards,servers,workers,strategy", OBLADI_TOPOLOGIES)
     def test_recover_preserves_lifetime_stats_and_history(self, shards, servers,
-                                                          workers):
-        eng = create_engine("obladi",
-                            _config(shards, servers, workers).with_durability(True))
+                                                          workers, strategy):
+        eng = create_engine("obladi", _config(shards, servers, workers,
+                                              strategy).with_durability(True))
         eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
         eng.submit(append_program("k1"))
         pre_crash = eng.stats()
@@ -434,8 +452,8 @@ class TestOpenLoop:
 
     @pytest.fixture(params=OPEN_LOOP_VARIANTS, ids=_variant_id)
     def open_engine(self, request) -> TransactionEngine:
-        kind, shards, servers, workers = request.param
-        eng = create_engine(kind, _config(shards, servers, workers))
+        kind, shards, servers, workers, strategy = request.param
+        eng = create_engine(kind, _config(shards, servers, workers, strategy))
         eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
         return eng
 
@@ -483,17 +501,19 @@ class TestOpenLoop:
         """The degeneracy invariant: arrivals=None (everything offered at
         the start) with one client produces the closed loop's schedule —
         identical outcomes, latencies and simulated timing."""
-        for kind, shards, servers, workers in OPEN_LOOP_VARIANTS:
-            closed_eng = create_engine(kind, _config(shards, servers, workers))
+        for kind, shards, servers, workers, strategy in OPEN_LOOP_VARIANTS:
+            closed_eng = create_engine(kind,
+                                       _config(shards, servers, workers, strategy))
             closed_eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
             closed = closed_eng.run_closed_loop(mixed_source(seed=11), 16,
                                                 clients=1, max_retries=2)
-            open_eng = create_engine(kind, _config(shards, servers, workers))
+            open_eng = create_engine(kind,
+                                     _config(shards, servers, workers, strategy))
             open_eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
             opened = open_eng.run_open_loop(mixed_source(seed=11), 16,
                                             arrivals=None, clients=1,
                                             max_retries=2)
-            label = _variant_id((kind, shards, servers, workers))
+            label = _variant_id((kind, shards, servers, workers, strategy))
             assert (closed.committed, closed.aborted, closed.retries) == \
                 (opened.committed, opened.aborted, opened.retries), label
             assert closed.elapsed_ms == opened.elapsed_ms, label
@@ -513,13 +533,14 @@ class TestOpenLoop:
         assert run.committed + run.aborted == \
             (run.offered - run.dropped) + run.retries
 
-    @pytest.mark.parametrize("shards,servers,workers", OBLADI_TOPOLOGIES)
-    def test_obladi_crash_recover_mid_open_loop(self, shards, servers, workers):
+    @pytest.mark.parametrize("shards,servers,workers,strategy", OBLADI_TOPOLOGIES)
+    def test_obladi_crash_recover_mid_open_loop(self, shards, servers, workers,
+                                                strategy):
         """Crash with offered load still queued, recover, keep offering:
         lifetime stats accumulate across the incarnations and the combined
         history stays serializable."""
-        eng = create_engine("obladi",
-                            _config(shards, servers, workers).with_durability(True))
+        eng = create_engine("obladi", _config(shards, servers, workers,
+                                              strategy).with_durability(True))
         eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
         # max_waves cuts the first run short, leaving offered load unserved.
         first = eng.run_open_loop(mixed_source(seed=11), 24,
@@ -589,13 +610,30 @@ class TestAuditing:
         RunStats reprs must match byte for byte (the audit field is excluded
         from repr), proving no-observer runs are untouched by this seam."""
         variant = request.node.callspec.params["engine"]
-        kind, shards, servers, workers = variant
+        kind, shards, servers, workers, strategy = variant
         bare = engine.run_closed_loop(mixed_source(seed=11), self.TOTAL,
                                       clients=8)
-        audited_engine = create_engine(kind, _config(shards, servers, workers))
+        audited_engine = create_engine(kind, _config(shards, servers, workers,
+                                                     strategy))
         audited_engine.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
         audited_engine.attach_observer(AuditingObserver())
         audited = audited_engine.run_closed_loop(mixed_source(seed=11),
                                                  self.TOTAL, clients=8)
         assert bare.audit is None and audited.audit is not None
         assert repr(bare) == repr(audited)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_buggy_injections_caught_under_either_strategy(self, strategy):
+        """Repair must not blunt the auditor: the ``buggy`` engine's
+        injected serializability violations are flagged by both checkers
+        whether the inner engine retries or repairs its conflict losers."""
+        eng = create_engine("buggy", _config(strategy=strategy)
+                            .with_faults(period=3, fault_seed=7))
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        eng.attach_observer(AuditingObserver(settle_lag=3))
+        run = eng.run_closed_loop(mixed_source(seed=11), self.TOTAL, clients=8)
+        assert eng.injected, "the fault injector found no victim"
+        assert not run.audit.ok
+        offline_ok, cycle = check_serializable(eng.committed_history)
+        assert not offline_ok
+        assert cycle is not None

@@ -400,3 +400,189 @@ class TestOpenLoopScheduling:
         run = run_open_loop(engine, tagged_source(list("ABC")),
                             total_transactions=3, arrivals=None, clients=2)
         assert run.partition_physical == [(5, 3), (6, 3)]
+
+
+# --------------------------------------------------------------------------- #
+# Conflict-strategy seam
+# --------------------------------------------------------------------------- #
+class RepairableScriptedEngine(ScriptedEngine):
+    """A scripted engine that additionally scripts driver-level repair.
+
+    ``repair_script[tag]`` is the verdict ``repair_many`` returns for that
+    tag (``True`` = the repair commits, ``False`` = it fails); a missing tag
+    is unrepairable (``None`` in the returned list).  ``supports_repair``
+    False makes ``repair_many`` decline outright (return ``None``), the
+    unsupported-engine fallback.  ``prefail`` tags come back from
+    ``submit_many`` with ``repair_failed`` already set, modelling an engine
+    whose *in-epoch* repair already failed for them.
+    """
+
+    def __init__(self, script=None, repair_script=None, preferred="repair",
+                 supports_repair=True, prefail=(), **kwargs):
+        super().__init__(script=script, **kwargs)
+        self.repair_script = dict(repair_script or {})
+        self.preferred = preferred
+        self.supports_repair = supports_repair
+        self.prefail = set(prefail)
+        self.repair_calls: List[List[str]] = []
+
+    def conflict_strategy(self) -> str:
+        """The engine's scripted strategy preference."""
+        return self.preferred
+
+    def submit_many(self, programs) -> List[TransactionResult]:
+        """As scripted, plus ``repair_failed`` on ``prefail`` tags' aborts."""
+        results = super().submit_many(programs)
+        for program, result in zip(programs, results):
+            if not result.committed and getattr(program, "tag", "?") in self.prefail:
+                result.repair_failed = True
+        return results
+
+    def repair_many(self, factories):
+        """Resolve a repair offer according to ``repair_script``."""
+        if not self.supports_repair:
+            return None
+        tags = [getattr(f, "tag", "?") for f in factories]
+        self.repair_calls.append(tags)
+        repaired = []
+        for tag in tags:
+            verdict = self.repair_script.get(tag)
+            if verdict is None:
+                repaired.append(None)
+                continue
+            repaired.append(TransactionResult(
+                txn_id=self._next_txn_id, committed=verdict,
+                return_value=tag if verdict else None,
+                abort_reason=None if verdict else "scripted",
+                latency_ms=self.wave_ms, epoch=len(self.waves) - 1))
+            self._next_txn_id += 1
+        return repaired
+
+
+class TestConflictStrategySeam:
+    def test_engine_preference_selects_the_strategy(self):
+        """``conflict_strategy=None`` defers to the engine's preference."""
+        engine = RepairableScriptedEngine(script={"A": [False, True]},
+                                          repair_script={"A": True})
+        run = run_closed_loop(engine, tagged_source(["A", "B"]),
+                              total_transactions=2, clients=2)
+        assert engine.repair_calls == [["A"]]
+        assert run.repaired == 1
+
+    def test_explicit_strategy_overrides_engine_preference(self):
+        """An explicit ``"retry"`` beats the engine's repair preference."""
+        engine = RepairableScriptedEngine(script={"A": [False, True]},
+                                          repair_script={"A": True})
+        run = run_closed_loop(engine, tagged_source(["A", "B"]),
+                              total_transactions=2, clients=2,
+                              conflict_strategy="retry")
+        assert engine.repair_calls == []
+        assert run.repaired == 0
+        assert run.retries == 1
+
+    def test_unknown_strategy_name_is_rejected(self):
+        engine = ScriptedEngine()
+        with pytest.raises(KeyError):
+            run_closed_loop(engine, tagged_source(["A"]),
+                            total_transactions=1, clients=1,
+                            conflict_strategy="optimism")
+
+    def test_repair_salvages_the_conflict_within_its_wave(self):
+        """A successful repair commits in the abort's own wave: no retry,
+        no extra wave, no wasted attempt."""
+        engine = RepairableScriptedEngine(script={"A": [False]},
+                                          repair_script={"A": True})
+        run = run_closed_loop(engine, tagged_source(["A", "B"]),
+                              total_transactions=2, clients=2)
+        assert engine.waves == [["A", "B"]]      # no second wave
+        assert run.committed == 2
+        assert run.aborted == 0
+        assert run.retries == 0
+        assert run.repaired == 1
+        assert run.wasted_attempts == 0
+
+    def test_unsupported_engine_falls_back_to_retry(self):
+        """``repair_many`` returning None means the wave retries exactly as
+        under RetryStrategy — same waves, same accounting."""
+        script = {"A": [False, True]}
+        declining = RepairableScriptedEngine(script=dict(script),
+                                             supports_repair=False)
+        plain = ScriptedEngine(script=dict(script))
+        repaired_run = run_closed_loop(declining, tagged_source(["A", "B"]),
+                                       total_transactions=2, clients=2)
+        retry_run = run_closed_loop(plain, tagged_source(["A", "B"]),
+                                    total_transactions=2, clients=2)
+        assert declining.waves == plain.waves == [["A", "B"], ["A"]]
+        assert repr(repaired_run) == repr(retry_run)
+        assert repaired_run.repaired == 0
+        assert repaired_run.retries == 1
+
+    def test_unrepairable_entry_retries_while_siblings_repair(self):
+        """A per-entry None from ``repair_many`` sends only that entry to
+        the retry pool; repaired siblings stay committed in-wave."""
+        engine = RepairableScriptedEngine(
+            script={"A": [False], "B": [False, True]},
+            repair_script={"A": True})           # B is unrepairable
+        run = run_closed_loop(engine, tagged_source(["A", "B"]),
+                              total_transactions=2, clients=2)
+        assert engine.repair_calls == [["A", "B"]]
+        assert engine.waves == [["A", "B"], ["B"]]
+        assert run.committed == 2
+        assert run.repaired == 1
+        assert run.retries == 1
+
+    def test_failed_repair_is_counted_and_still_retried(self):
+        """A repair that fails marks the result ``repair_failed``, charges
+        the extra wasted attempt, and the program still gets its retries."""
+        engine = RepairableScriptedEngine(script={"A": [False, True]},
+                                          repair_script={"A": False})
+        run = run_closed_loop(engine, tagged_source(["A"]),
+                              total_transactions=1, clients=1)
+        assert run.committed == 1                # committed on the retry
+        assert run.aborted == 1
+        assert run.repair_failed == 1
+        assert run.wasted_attempts == 2          # the abort + the dead repair
+        assert run.retries == 1
+
+    def test_exhausted_repairs_are_not_reoffered(self):
+        """An abort that already carries ``repair_failed`` (the engine's
+        in-epoch repair died) is never offered to ``repair_many`` again —
+        exhaustion falls straight through to retry."""
+        engine = RepairableScriptedEngine(script={"A": [False, True]},
+                                          repair_script={"A": True},
+                                          prefail={"A"})
+        run = run_closed_loop(engine, tagged_source(["A"]),
+                              total_transactions=1, clients=1)
+        assert engine.repair_calls == []         # A was filtered out
+        assert run.committed == 1
+        assert run.repair_failed == 1
+        assert run.retries == 1
+
+    def test_retry_strategy_reproduces_batching_byte_for_byte(self):
+        """Regression: the extracted RetryStrategy must reproduce the exact
+        cross-wave retry batching (and RunStats repr) of the pre-seam loop,
+        pinned against the schedule asserted in
+        ``test_retries_are_batched_before_fresh_draws``."""
+        runs = {}
+        for label, kwargs in (("default", {}),
+                              ("explicit", {"conflict_strategy": "retry"})):
+            engine = ScriptedEngine(script={"B": [False, True],
+                                            "C": [False, False]})
+            runs[label] = run_closed_loop(
+                engine, tagged_source(["A", "B", "C", "D"]),
+                total_transactions=4, clients=3, max_retries=1, **kwargs)
+            assert engine.waves == [["A", "B", "C"], ["B", "C", "D"]], label
+        assert repr(runs["default"]) == repr(runs["explicit"])
+
+    def test_open_loop_repairs_count_queue_delay_for_the_committing_attempt(self):
+        """The open loop resolves repairs through the same seam: a repaired
+        entry commits in its wave with its own admission-to-dispatch delay."""
+        engine = RepairableScriptedEngine(script={"A": [False]},
+                                          repair_script={"A": True},
+                                          wave_ms=10.0)
+        run = run_open_loop(engine, tagged_source(["A", "B"]),
+                            total_transactions=2, arrivals=None, clients=2)
+        assert engine.waves == [["A", "B"]]
+        assert run.committed == 2
+        assert run.repaired == 1
+        assert run.queue_delays_ms == [0.0, 0.0]
