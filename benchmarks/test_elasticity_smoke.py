@@ -1,0 +1,108 @@
+"""Elastic topologies under a flash crowd: autoscaled vs static.
+
+A bounded admission queue in front of a bottom-rung topology sheds a flash
+crowd as drops; the autoscaling control loop (:mod:`repro.elasticity`) sees
+the same pressure, live-reshards up its ladder — an oblivious migration
+window followed by an epoch-barrier cutover — and serves the remainder of
+the spike at the larger topology.
+
+This benchmark runs :func:`repro.harness.experiments.run_elasticity_comparison`
+— the identical seeded flash-crowd arrival stream offered twice — and pins
+the PR's acceptance bar:
+
+* **The autoscaled engine drops strictly fewer arrivals** than the static
+  bottom-rung engine, and sustains at least its achieved throughput.
+* **Every row's history is serializable** — both runs carry the streaming
+  auditor across their migration windows (``audit_ok``).
+* **The control loop actually actuated** — at least one scale-up decision
+  and one completed oblivious migration window.
+
+The measured rows are snapshotted to ``BENCH_elasticity.json`` in the repo
+root for FIGURES.md.
+"""
+
+import json
+import os
+
+from repro.harness.experiments import run_elasticity_comparison
+
+from .conftest import run_once
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SNAPSHOT = os.path.join(_REPO_ROOT, "BENCH_elasticity.json")
+
+
+def _print_rows(rows):
+    print()
+    print(f"  {'mode':10s} {'offered':>7s} {'dropped':>7s} {'committed':>9s} "
+          f"{'tps':>7s} {'lat_ms':>7s} {'reshards':>8s} {'topology':>10s} "
+          f"{'audit':>5s}")
+    for row in rows:
+        print(f"  {row.mode:10s} {row.offered:7d} {row.dropped:7d} "
+              f"{row.committed:9d} {row.achieved_tps:7.1f} "
+              f"{row.mean_total_latency_ms:7.1f} {row.reshards:8d} "
+              f"{str(row.final_topology):>10s} {str(row.audit_ok):>5s}")
+
+
+def test_autoscaler_beats_static_under_flash_crowd(benchmark, bench_scale):
+    """Autoscaled drops strictly fewer and achieves >= static tps.
+
+    The spike must outlast the controller's reaction (patience waves) plus
+    the migration window for the larger rung to pay off — shorter spikes
+    are exactly the regime where autoscaling cannot help, so the floor here
+    keeps the run inside the claim's domain (longer only widens the gap).
+    """
+    transactions = max(900, 3 * bench_scale["transactions"])
+
+    def sweep():
+        return run_elasticity_comparison(transactions=transactions)
+
+    rows = run_once(benchmark, sweep)
+    _print_rows(rows)
+
+    by_mode = {row.mode: row for row in rows}
+    assert set(by_mode) == {"static", "autoscaled"}
+    static = by_mode["static"]
+    autoscaled = by_mode["autoscaled"]
+
+    # Both runs were offered the identical arrival stream.
+    assert static.offered == autoscaled.offered
+
+    # The headline claims: strictly fewer drops, no throughput sacrifice.
+    assert autoscaled.dropped < static.dropped, (
+        f"autoscaled dropped {autoscaled.dropped} >= static {static.dropped}")
+    assert autoscaled.achieved_tps >= static.achieved_tps, (
+        f"autoscaled {autoscaled.achieved_tps:.1f} tps "
+        f"< static {static.achieved_tps:.1f} tps")
+
+    # ... earned by actually resharding, not by luck.
+    assert autoscaled.scale_ups >= 1
+    assert autoscaled.reshards >= 1
+    assert static.reshards == 0 and static.scale_ups == 0
+    assert static.final_topology == (1, 1, 1)
+
+    # Every row's history passed the streaming auditor, migration included.
+    assert all(row.audit_ok for row in rows)
+
+    snapshot = {
+        "transactions": transactions,
+        "rows": [
+            {"mode": row.mode,
+             "offered": row.offered,
+             "dropped": row.dropped,
+             "committed": row.committed,
+             "achieved_tps": round(row.achieved_tps, 2),
+             "mean_total_latency_ms": round(row.mean_total_latency_ms, 3),
+             "p95_total_latency_ms": round(row.p95_total_latency_ms, 3),
+             "max_queue_depth": row.max_queue_depth,
+             "epochs": row.epochs,
+             "reshards": row.reshards,
+             "scale_ups": row.scale_ups,
+             "scale_downs": row.scale_downs,
+             "final_topology": list(row.final_topology),
+             "audit_ok": row.audit_ok}
+            for row in rows],
+    }
+    with open(_SNAPSHOT, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")

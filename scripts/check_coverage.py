@@ -2,8 +2,9 @@
 """Coverage floor gate for the gated packages.
 
 The conformance and loop-driver suites exist to pin the ``repro.api``
-surface down, the auditor suites pin ``repro.audit``, and the MVTSO /
-repair / serializability suites pin ``repro.concurrency``; this gate makes
+surface down, the auditor suites pin ``repro.audit``, the MVTSO / repair /
+serializability suites pin ``repro.concurrency``, and the elasticity
+property/conformance suites pin ``repro.elasticity``; this gate makes
 those claims checkable.  After a ``pytest --cov=repro`` run has produced a
 ``.coverage`` data file, it reports line coverage restricted to each gated
 package and fails (exit code 1) below its floor.
@@ -32,6 +33,7 @@ GATES = {
     "api": ("*/repro/api/*", 85.0),
     "audit": ("*/repro/audit/*", 85.0),
     "concurrency": ("*/repro/concurrency/*", 85.0),
+    "elasticity": ("*/repro/elasticity/*", 85.0),
 }
 
 

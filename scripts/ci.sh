@@ -9,7 +9,7 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 # Docs gate: the README/ARCHITECTURE doctest snippets must execute, and
 # every exported repro.api / repro.sharding / repro.proxytier / repro.audit
-# / repro.concurrency symbol must carry a docstring.
+# / repro.concurrency / repro.elasticity symbol must carry a docstring.
 echo "== docs gate: doctests + exported-symbol docstrings =="
 python -m doctest docs/ARCHITECTURE.md README.md
 python scripts/check_docstrings.py
@@ -22,17 +22,20 @@ python -m pytest -q benchmarks/test_fig9_end_to_end.py -k smoke
 echo "== smoke: conflict repair keeps histories serializable =="
 python -m pytest -q benchmarks/test_repair_contention.py -k smoke
 
+echo "== smoke: autoscaled elastic topology beats static under a flash crowd =="
+python -m pytest -q benchmarks/test_elasticity_smoke.py
+
 echo "== tier-1: unit, property, integration and benchmark suites =="
 # With pytest-cov available the tier-1 run doubles as the coverage run, and
-# floors are enforced on src/repro/api, src/repro/audit and
-# src/repro/concurrency — the layers the conformance, loop-driver, auditor
-# and MVTSO/repair suites are supposed to pin down.
+# floors are enforced on src/repro/api, src/repro/audit, src/repro/concurrency
+# and src/repro/elasticity — the layers the conformance, loop-driver, auditor,
+# MVTSO/repair and elasticity suites are supposed to pin down.
 # Without it (the tier-1 dependencies are stdlib + pytest only) the suite
 # runs uninstrumented.
 if python -c "import pytest_cov" 2>/dev/null; then
     python -m pytest -x -q --cov=repro
     python scripts/check_coverage.py --min-api 85 --min-audit 85 \
-        --min-concurrency 85
+        --min-concurrency 85 --min-elasticity 85
 else
     echo "(pytest-cov not installed; running without the coverage gate)"
     python -m pytest -x -q

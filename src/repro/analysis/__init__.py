@@ -12,7 +12,8 @@ from repro.analysis.obliviousness import (bucket_access_counts, leaf_access_coun
                                           check_bucket_invariant, slot_read_multiset,
                                           partition_traces, partition_trace_similarity,
                                           server_traces, server_partition_traces,
-                                          split_partition_key)
+                                          split_partition_key,
+                                          generation_traces, split_generation_key)
 from repro.analysis.metrics import LatencyStats, summarize_latencies, throughput_tps
 
 __all__ = [
@@ -27,6 +28,8 @@ __all__ = [
     "server_traces",
     "server_partition_traces",
     "split_partition_key",
+    "generation_traces",
+    "split_generation_key",
     "LatencyStats",
     "summarize_latencies",
     "throughput_tps",

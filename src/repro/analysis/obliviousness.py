@@ -38,6 +38,44 @@ from repro.storage.trace import AccessTrace
 #: Storage-namespace prefix of one ORAM partition (see repro.storage.namespace).
 _PARTITION_PREFIX = re.compile(r"^p(\d+)/")
 
+#: Storage-namespace prefix of one topology generation (repro.elasticity):
+#: generation g > 0 lives under ``g<g>/p<i>/...``; generation 0 keeps the
+#: historical unprefixed namespace.
+_GENERATION_PREFIX = re.compile(r"^g(\d+)/")
+
+
+def split_generation_key(key: str) -> Tuple[int, str]:
+    """Split a storage key into ``(generation, unprefixed_key)``.
+
+    Keys without a generation namespace (everything a statically provisioned
+    deployment ever writes) belong to generation 0.
+    """
+    match = _GENERATION_PREFIX.match(key)
+    if match is None:
+        return 0, key
+    return int(match.group(1)), key[match.end():]
+
+
+def generation_traces(trace: AccessTrace) -> Dict[int, AccessTrace]:
+    """Split a storage trace into one trace per topology generation.
+
+    During a live migration (:mod:`repro.elasticity`) a server hosts the
+    retiring generation's namespaces *and* the target generation's
+    ``g<g>/p<i>/`` namespaces; the adversary can tell them apart, so
+    obliviousness must hold for each generation's view separately.  The
+    returned traces have the generation prefix stripped — apply
+    :func:`partition_traces` and the other helpers to each one directly.
+    """
+    per_generation: Dict[int, AccessTrace] = {}
+    for event in trace.events:
+        generation, stripped = split_generation_key(event.key)
+        sub = per_generation.get(generation)
+        if sub is None:
+            sub = per_generation[generation] = AccessTrace()
+        sub.record(event.op, stripped, event.size_bytes, event.time_ms,
+                   event.batch_id)
+    return per_generation
+
 
 def split_partition_key(key: str) -> Tuple[int, str]:
     """Split a storage key into ``(partition_index, unprefixed_key)``.

@@ -46,10 +46,18 @@ class ObladiEngine(TransactionEngine):
         # Lifetime stats are measured from here, not from clock zero: a
         # shared clock may already have advanced before this engine existed.
         self._start_ms = proxy.clock.now_ms
-        # Contributions of proxies retired by crash/recover cycles, so the
-        # engine's lifetime accounting survives proxy replacement.
+        # Contributions of proxies retired by crash/recover cycles (and by
+        # reshard cutovers), so the engine's lifetime accounting survives
+        # proxy replacement.
         self._retired = RunStats(engine=self.name)
         self._retired_history: list = []
+        # Live-resharding state (repro.elasticity): a staged plan waits for
+        # the next wave boundary, a running migration rides epoch barriers,
+        # and completed windows leave their reports for RunStats.migrations.
+        self._pending_reshard = None
+        self._reshard_target = None
+        self._migration = None
+        self._migration_reports: list = []
 
     # -- data plane ----------------------------------------------------- #
     def load_initial_data(self, items: Dict[str, bytes]) -> None:
@@ -63,12 +71,15 @@ class ObladiEngine(TransactionEngine):
     def submit_many(self, programs: Sequence[ProgramFactory]) -> List[TransactionResult]:
         if not programs:
             return []
+        self._begin_staged_reshard()
         for program in programs:
             self.proxy.submit(program)
         summary = self.proxy.run_epoch()
         epoch_results = [r for r in self.proxy.results.values()
                          if r.epoch == summary.epoch_id]
         ordered = sorted(epoch_results, key=lambda r: r.txn_id)
+        if self._migration is not None and self._migration.done:
+            self._cutover()
         self._notify_wave(ordered)
         return ordered
 
@@ -135,7 +146,19 @@ class ObladiEngine(TransactionEngine):
             # more on top (see ``account_final_result``).
             wasted_attempts=aborted + repair_failed,
             aborts_by_reason=aborts_by_reason,
+            migrations=tuple(self._migration_reports),
         )
+
+    def _notify_run_end(self, stats: RunStats) -> None:
+        """Stamp completed migration windows before observers see the stats.
+
+        Loop drivers build their own ``RunStats``; the engine owns the
+        migration record, so it is attached here — ahead of observer
+        callbacks like the autoscale controller's, which publishes its
+        decisions on the same object.
+        """
+        stats.migrations = tuple(self._migration_reports)
+        super()._notify_run_end(stats)
 
     @staticmethod
     def _merge_counters(current: List[Tuple[int, int]],
@@ -207,19 +230,107 @@ class ObladiEngine(TransactionEngine):
             return [(storage.stats_reads, storage.stats_writes)]
         return [(server.stats_reads, server.stats_writes) for server in servers]
 
+    # -- elastic topology ------------------------------------------------ #
+    @property
+    def supports_reshard(self) -> bool:
+        """The Obladi adapter reshards live (see :mod:`repro.elasticity`)."""
+        return True
+
+    @property
+    def reshard_in_flight(self) -> bool:
+        """Whether a staged plan or running migration has yet to cut over."""
+        return self._pending_reshard is not None or self._migration is not None
+
+    def reshard(self, plan) -> None:
+        """Stage a live topology change; it begins at the next wave boundary.
+
+        Plans that move ORAM data (``shards``/``storage_servers``) run a
+        padded background migration across the following epochs and cut over
+        when the copy drains; pure ``proxy_workers`` changes cut over
+        instantly at the boundary.  The plan is validated here, loudly,
+        before anything is staged; a second reshard while one is in flight
+        is rejected.
+        """
+        if self.reshard_in_flight:
+            raise ValueError("a reshard is already in flight; "
+                             "wait for its cutover")
+        if plan.is_noop(self.proxy.config):
+            return
+        plan.resolve(self.proxy.config)   # surface invalid targets now
+        self._pending_reshard = plan
+
+    def _begin_staged_reshard(self) -> None:
+        """Start the staged plan, if any, at this wave boundary."""
+        if self._pending_reshard is None:
+            return
+        from repro.elasticity.migration import TopologyMigration, prepare_storage
+        plan = self._pending_reshard
+        self._pending_reshard = None
+        target = plan.resolve(self.proxy.config)
+        self._reshard_target = target
+        if not plan.requires_migration(self.proxy.config):
+            # Pure proxy-tier rebalance: the data layer is handed over
+            # untouched, so the barrier itself is the whole change.
+            self._cutover()
+            return
+        storage = prepare_storage(self.proxy.storage, target)
+        self._migration = TopologyMigration(self.proxy, target, storage)
+        self.proxy._migration = self._migration
+
+    def _cutover(self) -> None:
+        """Retire the proxy and install the target topology behind a new one.
+
+        Mirrors :meth:`recover`'s retirement bookkeeping — a cutover is a
+        bloodless crash/recover: the engine's lifetime stats and committed
+        history absorb the old proxy, the (migration-populated or handed-
+        over) data layer moves behind a freshly built proxy, and MVTSO
+        timestamps/transaction ids keep extending the same serialization
+        order.  With durability on, a full checkpoint is written as the
+        migration *fence*: recovery from any later crash finds only the new
+        generation's chain, while a crash before this point never sees it.
+        """
+        from repro.core.version_cache import VersionCache
+        from repro.proxytier.coordinator import build_proxy
+        old = self.proxy
+        target = self._reshard_target
+        migration = self._migration
+        if migration is not None:
+            layer, storage = migration.layer, migration.storage
+            self._migration_reports.append(migration.report())
+            old._migration = None
+            self._migration = None
+        else:
+            layer, storage = old.data_layer, old.storage
+        self._retire_proxy(old)
+        # The layer follows the target topology; its epoch cache is re-built
+        # so a coordinator's sharded cache never outlives its workers (the
+        # new proxy re-points it again if it shards the trusted tier).
+        layer.config = target
+        cache = VersionCache()
+        layer.cache = cache
+        for part in layer.partitions:
+            part.handler.cache = cache
+        fresh = build_proxy(config=target, storage=storage, clock=old.clock,
+                            master_key=old.master_key, data_layer=layer)
+        fresh.mvtso.fast_forward(old.mvtso.next_timestamp, old.mvtso.next_txn_id)
+        fresh._last_writer_ts.update(old._last_writer_ts)
+        fresh._epoch_counter = old._epoch_counter
+        self.proxy = fresh
+        self._reshard_target = None
+        if fresh.recovery is not None:
+            fresh._checkpoint(full=True)
+
     # -- fault injection ------------------------------------------------ #
     def crash(self) -> None:
         self.proxy.crash()
 
-    def recover(self):
-        """Build a fresh proxy from the untrusted store; returns the report.
+    def _retire_proxy(self, old) -> None:
+        """Fold a proxy's lifetime contribution into the retired accumulators.
 
-        The crashed proxy's committed work stays in the engine's lifetime
-        stats and history — a crash loses in-flight state, not the record of
-        what already committed durably.
+        Shared by :meth:`recover` and the reshard cutover: both replace
+        ``self.proxy`` and must not lose the old incarnation's committed
+        work, I/O counters or history.
         """
-        from repro.recovery.manager import recover_proxy
-        old = self.proxy
         old_results = list(old.results.values())
         self._retired.committed += old.stats_committed
         self._retired.aborted += old.stats_aborted
@@ -245,6 +356,23 @@ class ObladiEngine(TransactionEngine):
                 self._retired.aborts_by_reason[result.abort_reason] = (
                     self._retired.aborts_by_reason.get(result.abort_reason, 0) + 1)
         self._retired_history.extend(old.committed_history)
+
+    def recover(self):
+        """Build a fresh proxy from the untrusted store; returns the report.
+
+        The crashed proxy's committed work stays in the engine's lifetime
+        stats and history — a crash loses in-flight state, not the record of
+        what already committed durably.  An in-flight reshard dies with the
+        crash: its staged plan and half-copied target generation are
+        volatile, and recovery lands on whichever side of the migration
+        fence the durable chain reflects.
+        """
+        from repro.recovery.manager import recover_proxy
+        old = self.proxy
+        self._retire_proxy(old)
+        self._pending_reshard = None
+        self._reshard_target = None
+        self._migration = None
 
         recovered, report = recover_proxy(old.storage, old.config,
                                           master_key=old.master_key)

@@ -283,6 +283,29 @@ class TransactionEngine(abc.ABC):
         return 0.0
 
     # ------------------------------------------------------------------ #
+    # Elastic topology
+    # ------------------------------------------------------------------ #
+    @property
+    def supports_reshard(self) -> bool:
+        """Whether :meth:`reshard` can change this engine's topology live."""
+        return False
+
+    @property
+    def reshard_in_flight(self) -> bool:
+        """Whether a staged or running topology change has yet to cut over."""
+        return False
+
+    def reshard(self, plan) -> None:
+        """Stage a live topology change (a :class:`repro.elasticity.ReshardPlan`).
+
+        The change takes effect at an epoch barrier: data migrations run as
+        padded background batches across the following epochs and cut over
+        when the copy completes.  Engines without an elastic topology raise
+        :class:`EngineFeatureUnavailable` (the default).
+        """
+        raise EngineFeatureUnavailable(self.name, "reshard()")
+
+    # ------------------------------------------------------------------ #
     # Fault injection
     # ------------------------------------------------------------------ #
     def crash(self) -> None:

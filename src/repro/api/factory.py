@@ -115,6 +115,20 @@ class EngineConfig:
     fault_period: int = 4
     fault_seed: int = 0
 
+    # Autoscaling (Obladi only): an ``repro.elasticity.AutoscalePolicy``
+    # attached as an AutoscaleController observer at engine creation.
+    # ``None`` (the default) attaches nothing and leaves every run
+    # byte-identical to the historical path.  Typed as object to avoid
+    # importing repro.elasticity here (it sits above the api layer).
+    autoscale: Optional[object] = None
+
+    # Concurrency-control CPU per MVTSO operation (Obladi only); ``None``
+    # keeps the cost model's 0.0 default (no CC CPU charged — the seed
+    # behaviour).  Raising it makes epochs proxy-CPU-bound, which is what
+    # gives a larger ``proxy_workers`` topology a genuine throughput edge
+    # (the elasticity experiments scale along exactly that axis).
+    cc_op_ms: Optional[float] = None
+
     seed: Optional[int] = 0
 
     # ------------------------------------------------------------------ #
@@ -249,6 +263,28 @@ class EngineConfig:
             updates["exclusive_reads"] = exclusive_reads
         return replace(self, **updates)
 
+    def with_autoscale(self, policy) -> "EngineConfig":
+        """Attach an autoscaling control loop to the engine at creation.
+
+        ``policy`` is a :class:`repro.elasticity.AutoscalePolicy`; the
+        factory attaches an :class:`~repro.elasticity.AutoscaleController`
+        observer that watches open-loop pressure and reshards the engine
+        along the policy's topology ladder.  Only the ``obladi`` engine
+        supports live resharding; ``None`` detaches.
+        """
+        return replace(self, autoscale=policy)
+
+    def with_cc_cost(self, cc_op_ms: float) -> "EngineConfig":
+        """Charge ``cc_op_ms`` milliseconds of proxy CPU per MVTSO operation.
+
+        The seed default is 0.0 (no explicit CC CPU).  A positive cost makes
+        epochs proxy-CPU-bound: a single proxy pays it serially while a
+        sharded proxy tier (:meth:`with_proxy_workers`) schedules each
+        worker's share as parallel lanes — the throughput axis the
+        autoscaling experiments (:mod:`repro.elasticity`) scale along.
+        """
+        return replace(self, cc_op_ms=cc_op_ms)
+
     def with_seed(self, seed: Optional[int]) -> "EngineConfig":
         """Fix the deterministic RNG seed (``None`` = non-reproducible run)."""
         return replace(self, seed=seed)
@@ -288,6 +324,9 @@ class EngineConfig:
             if value is not None:
                 overrides[field_name] = value
         overrides["seed"] = self.seed
+        if self.cc_op_ms is not None:
+            from repro.sim.latency import CpuCostModel
+            overrides["cost_model"] = CpuCostModel(cc_op_ms=self.cc_op_ms)
 
         num_blocks = self.num_blocks
         oram = self.oram
@@ -360,6 +399,9 @@ def create_engine(kind: str,
             return BuggyEngine(engine, kinds=engine_config.fault_kinds,
                                period=engine_config.fault_period,
                                seed=engine_config.fault_seed)
+        if engine_config.autoscale is not None:
+            from repro.elasticity import AutoscaleController
+            engine.attach_observer(AutoscaleController(engine_config.autoscale))
         return engine
 
     if normalized == "nopriv":

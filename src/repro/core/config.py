@@ -119,6 +119,15 @@ class ObladiConfig:
     durability: bool = True
     checkpoint_frequency: int = 4    # full checkpoint every k epochs (Figure 11a)
 
+    # Topology generation (``repro.elasticity``): bumped by one at every
+    # reshard cutover.  Generation 0 — the value every statically provisioned
+    # config carries — adds no storage prefix, so the historical layouts stay
+    # byte-identical; generation g > 0 namespaces the partitions and their
+    # checkpoint components under ``g<g>/``, which is what lets two topology
+    # generations coexist on the same storage during a live migration and
+    # lets ``recover()`` land on exactly one side of the cutover fence.
+    generation: int = 0
+
     # Misc.
     seed: Optional[int] = 0
     cost_model: CpuCostModel = field(default_factory=CpuCostModel)
@@ -156,6 +165,8 @@ class ObladiConfig:
             raise ValueError(
                 f"unknown conflict_strategy {self.conflict_strategy!r}; "
                 f"valid: retry, repair")
+        if self.generation < 0:
+            raise ValueError("topology generation cannot be negative")
 
     # ------------------------------------------------------------------ #
     # Derived quantities
@@ -196,6 +207,18 @@ class ObladiConfig:
     def partition_write_batch_size(self) -> int:
         """Per-partition write-batch quota (``ceil(b_write / shards)``)."""
         return math.ceil(self.write_batch_size / self.shards)
+
+    @property
+    def generation_prefix(self) -> str:
+        """Storage namespace prefix of this topology generation.
+
+        Empty for generation 0 (the statically provisioned layouts keep
+        their historical key space byte-for-byte); ``g<g>/`` afterwards, so
+        partition ``i`` of generation ``g`` lives under ``g<g>/p<i>/`` and
+        its checkpoint components under the same prefix — disjoint from
+        every earlier generation on the same storage.
+        """
+        return "" if self.generation == 0 else f"g{self.generation}/"
 
     @property
     def topology(self) -> str:

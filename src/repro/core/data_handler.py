@@ -51,6 +51,15 @@ class KeyDirectory:
     def known(self, key: str) -> bool:
         return key in self._ids
 
+    def keys(self) -> List[str]:
+        """Every application key the directory has assigned a block id.
+
+        Live resharding (``repro.elasticity``) seeds its copy queue from
+        this: the union of the per-partition directories is exactly the set
+        of keys the deployment has ever materialised.
+        """
+        return list(self._ids)
+
     def __len__(self) -> int:
         return len(self._ids)
 

@@ -72,7 +72,8 @@ class ObladiProxy:
                  storage: Optional[StorageServer] = None,
                  clock: Optional[SimClock] = None,
                  recovery_manager=None,
-                 master_key: Optional[bytes] = None) -> None:
+                 master_key: Optional[bytes] = None,
+                 data_layer=None) -> None:
         self.config = config if config is not None else ObladiConfig()
         self.clock = clock if clock is not None else SimClock()
         if storage is None:
@@ -96,9 +97,15 @@ class ObladiProxy:
 
         # The data path lives behind the DataLayer seam: one Ring ORAM tree,
         # or — with ``config.shards > 1`` — N hash-partitioned parallel trees.
-        from repro.sharding import build_data_layer
-        self.data_layer = build_data_layer(self.config, storage=self.storage,
-                                           clock=self.clock, master_key=self.master_key)
+        # A reshard cutover (repro.elasticity) injects the already-populated
+        # next-generation layer instead of building a fresh empty one.
+        if data_layer is not None:
+            self.data_layer = data_layer
+        else:
+            from repro.sharding import build_data_layer
+            self.data_layer = build_data_layer(self.config, storage=self.storage,
+                                               clock=self.clock,
+                                               master_key=self.master_key)
         # Single-partition views kept for compatibility: most introspection
         # (tests, harness, sequential baselines) reads partition 0 directly.
         part0 = self.data_layer.partitions[0]
@@ -129,6 +136,9 @@ class ObladiProxy:
         self._queue: List[_ActiveTransaction] = []
         self._epoch_counter = 0
         self._crashed = False
+        # Live resharding (repro.elasticity): when a TopologyMigration is
+        # attached, one padded copy step rides every epoch barrier.
+        self._migration = None
         # Concurrency-control CPU accounting (``CpuCostModel.cc_op_ms``).
         # The single proxy charges CC work serially; the sharded proxy tier
         # (:mod:`repro.proxytier`) overrides :meth:`_charge_cc` to divide it
@@ -263,6 +273,12 @@ class ObladiProxy:
         self._advance_transactions(admitted, state, final_round=True)
 
         self._finalize_epoch(admitted, state)
+
+        # Live resharding: one padded migration copy step rides each epoch
+        # barrier (``repro.elasticity``); its reads from the retiring layer
+        # land in this epoch's physical counters like any other traffic.
+        if self._migration is not None:
+            self._migration.step(self, state)
 
         physical_after = self.data_layer.per_partition_physical()
         partition_physical = tuple((after_r - before_r, after_w - before_w)
@@ -563,6 +579,12 @@ class ObladiProxy:
 
         self.data_layer.execute_write_batch(batch_items, self.config.write_batch_size)
         state.write_batch_keys = sorted(batch_items)
+        # Write-through replication: a live migration (``repro.elasticity``)
+        # must re-copy every key this epoch rewrote; hand it the committed
+        # values directly so its copy steps never pick up stale entries from
+        # the epoch's read cache.
+        if self._migration is not None:
+            self._migration.observe_writes(batch_items)
         self.data_layer.flush()
 
         # Durability: the epoch is committed only once its metadata is logged.
@@ -718,10 +740,16 @@ class ObladiProxy:
         )
 
     def crash(self) -> None:
-        """Simulate a proxy crash: all volatile state is lost."""
+        """Simulate a proxy crash: all volatile state is lost.
+
+        An in-flight migration dies with the proxy: its next-generation
+        layer was volatile until the cutover fence, so recovery lands on the
+        pre-reshard topology (the engine restarts the migration afterwards).
+        """
         self._crashed = True
         self._queue.clear()
         self.data_layer.abort_epoch()
+        self._migration = None
 
     @property
     def crashed(self) -> bool:

@@ -1,0 +1,213 @@
+"""The autoscaling control loop: open-loop signals in, reshard plans out.
+
+:class:`AutoscaleController` is an engine observer that closes the loop
+between the open-loop load generator's admission signals — queue depth and
+dropped arrivals, mirrored into each epoch's summary by
+``record_open_loop_wave`` — and the live-resharding API
+(``TransactionEngine.reshard``).  A :class:`AutoscalePolicy` gives it a
+*ladder* of topologies; sustained pressure climbs a rung, sustained idleness
+steps back down, and every actuation is recorded as an
+:class:`AutoscaleDecision` and published on ``RunStats.controller`` when the
+run ends.
+
+Unlike every other observer in this codebase the controller is deliberately
+**not** passive: issuing a reshard changes the run.  It is the one sanctioned
+exception to the observer contract, and it preserves the contract's spirit —
+attached to an engine whose policy never triggers (or to an engine without
+``reshard`` support) it changes nothing and the run stays byte-identical.
+
+Signals lag one wave: wave *N*'s queue counters are stamped onto its epoch
+summary only after the wave returns, so the controller acting during wave
+*N+1* reads wave *N*'s state.  That one-epoch delay is inherent to acting at
+epoch barriers and is why the policy has ``patience`` (consecutive breaching
+waves required) rather than reacting to single samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.audit.observer import EngineObserver
+from repro.elasticity.plan import ReshardPlan
+
+__all__ = ["AutoscaleController", "AutoscaleDecision", "AutoscalePolicy",
+           "ControllerReport"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """When and where to scale: a topology ladder plus hysteresis knobs.
+
+    ``ladder`` lists ``(shards, storage_servers, proxy_workers)`` rungs from
+    smallest to largest provisioned capacity.  A wave whose (lagged) queue
+    depth reaches ``queue_high`` — or that dropped arrivals — counts toward
+    scaling up; a wave at or under ``queue_low`` counts toward scaling down;
+    anything between resets both streaks.  ``patience`` is how many
+    consecutive counting waves trigger an actuation, and ``cooldown`` how
+    many waves the controller then ignores while the new topology settles
+    (a migration window plus a few epochs is a good value).
+
+    >>> policy = AutoscalePolicy(ladder=((1, 1, 1), (4, 1, 1)))
+    >>> policy.rung_of((4, 1, 1))
+    1
+    """
+
+    ladder: Tuple[Tuple[int, int, int], ...] = ((1, 1, 1), (4, 1, 1))
+    queue_high: int = 32
+    queue_low: int = 2
+    patience: int = 2
+    cooldown: int = 3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ladder",
+                           tuple(tuple(rung) for rung in self.ladder))
+        if len(self.ladder) < 2:
+            raise ValueError("an autoscale ladder needs at least two rungs")
+        for rung in self.ladder:
+            if len(rung) != 3 or any(v < 1 for v in rung):
+                raise ValueError(f"malformed ladder rung {rung!r}; want "
+                                 f"(shards, storage_servers, proxy_workers)")
+            shards, servers, _ = rung
+            if servers > shards:
+                raise ValueError(f"ladder rung {rung!r} places {servers} "
+                                 f"storage servers under {shards} shards")
+        if self.queue_low >= self.queue_high:
+            raise ValueError("queue_low must be below queue_high")
+        if self.patience < 1:
+            raise ValueError("patience must be at least 1 wave")
+        if self.cooldown < 0:
+            raise ValueError("cooldown cannot be negative")
+
+    def rung_of(self, topology: Sequence[int]) -> int:
+        """Ladder index of ``topology``, or ``-1`` when it is off-ladder."""
+        try:
+            return self.ladder.index(tuple(topology))
+        except ValueError:
+            return -1
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """One actuation the controller issued (``RunStats.controller`` entry)."""
+
+    wave: int
+    action: str                       # "scale_up" | "scale_down"
+    from_rung: int
+    to_rung: int
+    topology: Tuple[int, int, int]    # the rung moved to
+    queue_depth: int                  # the (lagged) signal that triggered it
+    dropped_delta: int                # arrivals dropped since the prior wave
+
+
+@dataclass(frozen=True)
+class ControllerReport:
+    """What the control loop did over one run (``RunStats.controller``)."""
+
+    decisions: Tuple[AutoscaleDecision, ...]
+    waves: int
+    final_topology: Optional[Tuple[int, int, int]]
+
+
+class AutoscaleController(EngineObserver):
+    """Watches open-loop pressure and reshards the engine along a ladder.
+
+    Attach with ``engine.attach_observer(AutoscaleController(policy))`` or,
+    more conveniently, build the engine from an ``EngineConfig`` carrying
+    ``with_autoscale(policy)``.  Engines that do not support resharding are
+    observed but never actuated.
+    """
+
+    def __init__(self, policy: AutoscalePolicy) -> None:
+        self.policy = policy
+        self.decisions: List[AutoscaleDecision] = []
+        self.engine = None
+        self._wave = 0
+        self._high_streak = 0
+        self._low_streak = 0
+        self._cooldown = 0
+        self._rung = 0
+        self._last_dropped = 0
+
+    def on_attach(self, engine) -> None:
+        """Bind to ``engine`` and locate its topology on the ladder."""
+        self.engine = engine
+        config = getattr(getattr(engine, "proxy", None), "config", None)
+        if config is not None:
+            rung = self.policy.rung_of((config.shards, config.storage_servers,
+                                        config.proxy_workers))
+            self._rung = max(0, rung)
+
+    def on_wave(self, engine, results) -> None:
+        """Evaluate the lagged admission signal; actuate when streaks mature."""
+        del results
+        self._wave += 1
+        if not getattr(engine, "supports_reshard", False):
+            return
+        signal = self._signal(engine)
+        if signal is None:
+            return
+        depth, dropped = signal
+        dropped_delta = max(0, dropped - self._last_dropped)
+        self._last_dropped = dropped
+        if getattr(engine, "reshard_in_flight", False):
+            return
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        if depth >= self.policy.queue_high or dropped_delta > 0:
+            self._high_streak += 1
+            self._low_streak = 0
+        elif depth <= self.policy.queue_low:
+            self._low_streak += 1
+            self._high_streak = 0
+        else:
+            self._high_streak = 0
+            self._low_streak = 0
+        if (self._high_streak >= self.policy.patience
+                and self._rung + 1 < len(self.policy.ladder)):
+            self._actuate(engine, self._rung + 1, "scale_up", depth, dropped_delta)
+        elif self._low_streak >= self.policy.patience and self._rung > 0:
+            self._actuate(engine, self._rung - 1, "scale_down", depth, dropped_delta)
+
+    def on_run_end(self, engine, stats) -> None:
+        """Publish the run's decision record on ``stats.controller``."""
+        config = getattr(getattr(engine, "proxy", None), "config", None)
+        final = None if config is None else (
+            config.shards, config.storage_servers, config.proxy_workers)
+        stats.controller = ControllerReport(decisions=tuple(self.decisions),
+                                            waves=self._wave,
+                                            final_topology=final)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _signal(self, engine) -> Optional[Tuple[int, int]]:
+        """Wave *N-1*'s ``(queue_depth, cumulative_dropped)``, if stamped yet.
+
+        The open-loop driver stamps a wave's counters onto its epoch summary
+        *after* the wave's observers ran, so the freshest stamped summary is
+        the previous one.  Right after a cutover the new proxy's summary
+        list is still short and the controller simply skips a wave or two —
+        a natural settling period on top of ``cooldown``.
+        """
+        summaries = getattr(getattr(engine, "proxy", None),
+                            "epoch_summaries", None)
+        if not summaries or len(summaries) < 2:
+            return None
+        summary = summaries[-2]
+        return summary.queue_depth, summary.arrivals_dropped
+
+    def _actuate(self, engine, rung: int, action: str, depth: int,
+                 dropped_delta: int) -> None:
+        shards, servers, workers = self.policy.ladder[rung]
+        engine.reshard(ReshardPlan(shards=shards, storage_servers=servers,
+                                   proxy_workers=workers))
+        self.decisions.append(AutoscaleDecision(
+            wave=self._wave, action=action, from_rung=self._rung,
+            to_rung=rung, topology=(shards, servers, workers),
+            queue_depth=depth, dropped_delta=dropped_delta))
+        self._rung = rung
+        self._high_streak = 0
+        self._low_streak = 0
+        self._cooldown = self.policy.cooldown

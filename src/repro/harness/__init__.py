@@ -9,11 +9,12 @@ All results are in *simulated* time (see DESIGN.md).
 from repro.harness.experiments import (EndToEndRow, ParallelismRow, BatchSizeRow,
                                        DelayedVisibilityRow, EpochSizeOramRow,
                                        EpochSizeProxyRow, CheckpointFrequencyRow,
-                                       RecoveryRow,
+                                       RecoveryRow, ElasticityRow,
                                        run_end_to_end, run_parallelism,
                                        run_batch_size_sweep, run_delayed_visibility,
                                        run_epoch_size_oram, run_epoch_size_proxy,
-                                       run_checkpoint_frequency, run_recovery_table)
+                                       run_checkpoint_frequency, run_recovery_table,
+                                       run_elasticity_comparison)
 from repro.harness.report import render_table, rows_to_dicts
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "EpochSizeProxyRow",
     "CheckpointFrequencyRow",
     "RecoveryRow",
+    "ElasticityRow",
     "run_end_to_end",
     "run_parallelism",
     "run_batch_size_sweep",
@@ -33,6 +35,7 @@ __all__ = [
     "run_epoch_size_proxy",
     "run_checkpoint_frequency",
     "run_recovery_table",
+    "run_elasticity_comparison",
     "render_table",
     "rows_to_dicts",
 ]

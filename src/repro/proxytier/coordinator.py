@@ -95,9 +95,10 @@ class ProxyCoordinator(ObladiProxy):
 
     def __init__(self, config: Optional[ObladiConfig] = None,
                  storage=None, clock=None, recovery_manager=None,
-                 master_key: Optional[bytes] = None) -> None:
+                 master_key: Optional[bytes] = None, data_layer=None) -> None:
         super().__init__(config, storage=storage, clock=clock,
-                         recovery_manager=recovery_manager, master_key=master_key)
+                         recovery_manager=recovery_manager, master_key=master_key,
+                         data_layer=data_layer)
         count = self.config.proxy_workers
         self.workers = [ProxyWorker(index) for index in range(count)]
         self._worker_cache: Dict[str, int] = {}
@@ -204,15 +205,20 @@ class ProxyCoordinator(ObladiProxy):
 
 
 def build_proxy(config: Optional[ObladiConfig] = None, storage=None, clock=None,
-                recovery_manager=None, master_key: Optional[bytes] = None):
+                recovery_manager=None, master_key: Optional[bytes] = None,
+                data_layer=None):
     """Construct the proxy the configuration asks for.
 
     ``proxy_workers=1`` (the default) returns the plain
     :class:`~repro.core.proxy.ObladiProxy` — byte-identical to the seed
     system, the same way ``build_data_layer`` returns the single-tree layer
     for ``shards=1``.  Anything larger returns a :class:`ProxyCoordinator`.
+    ``data_layer`` injects an already-populated layer instead of building a
+    fresh one — the reshard cutover (``repro.elasticity``) hands the new
+    proxy the layer its migration filled.
     """
     config = config if config is not None else ObladiConfig()
     cls = ObladiProxy if config.proxy_workers <= 1 else ProxyCoordinator
     return cls(config, storage=storage, clock=clock,
-               recovery_manager=recovery_manager, master_key=master_key)
+               recovery_manager=recovery_manager, master_key=master_key,
+               data_layer=data_layer)

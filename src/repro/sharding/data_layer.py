@@ -213,8 +213,17 @@ class SingleOramDataLayer(DataLayer):
         self.config = config
         self.clock = clock
         self.cache = VersionCache()
-        self.partitions = [build_partition(config, 0, storage, clock, master_key,
-                                           self.cache, component_prefix="",
+        # Generation 0 addresses the raw store directly (the historical
+        # layout, byte-for-byte); later generations — topologies installed by
+        # a reshard cutover — namespace their tree under "g<g>/" so they
+        # coexist with the generation they replaced on the same storage.
+        gen_prefix = config.generation_prefix
+        view = storage
+        if gen_prefix:
+            from repro.storage.namespace import NamespacedStorage
+            view = NamespacedStorage(storage, gen_prefix)
+        self.partitions = [build_partition(config, 0, view, clock, master_key,
+                                           self.cache, component_prefix=gen_prefix,
                                            seed=config.seed, advance_clock=True)]
         self._handler = self.partitions[0].handler
 

@@ -96,19 +96,28 @@ class PartitionedDataLayer(DataLayer):
                 f"servers but the data layer was given a "
                 f"{type(storage).__name__}; pass a "
                 f"repro.storage.cluster.StorageCluster")
-        if cluster is not None and cluster.num_servers != config.storage_servers:
+        # A cluster *larger* than the configuration is legal: live resharding
+        # (``repro.elasticity``) grows the cluster before the target layer is
+        # built and leaves departing servers idle after a scale-down, so a
+        # layer must address servers through its *own* server count, never
+        # the cluster's current size.
+        if cluster is not None and cluster.num_servers < config.storage_servers:
             raise ValueError(
                 f"storage cluster has {cluster.num_servers} servers but the "
                 f"configuration asks for {config.storage_servers}")
         self.partitions = []
         for index in range(config.shards):
-            prefix = partition_prefix(index)
+            # Reshard cutovers bump config.generation; the generation prefix
+            # ("" at generation 0) namespaces this topology's partitions away
+            # from the ones it replaced on the same storage.
+            prefix = config.generation_prefix + partition_prefix(index)
             # Each partition addresses its own host server (round-robin on a
             # cluster, the shared store otherwise) through its namespace, and
             # its executor is timed against that link's latency model.
             if cluster is not None:
-                host = cluster.server_for_partition(index)
-                link = cluster.link_model_for_partition(index)
+                host_index = index % config.storage_servers
+                host = cluster.servers[host_index]
+                link = cluster.link_models[host_index]
             else:
                 host, link = storage, None
             view = NamespacedStorage(host, prefix)

@@ -101,6 +101,57 @@ class StorageCluster(StorageServer):
     # ------------------------------------------------------------------ #
     # Topology
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_server(cls, server: InMemoryStorageServer, latency="dummy",
+                    num_servers: int = 2,
+                    link_extra_rtt_ms: Sequence[float] = ()) -> "StorageCluster":
+        """Promote an existing single server to a cluster's metadata server.
+
+        The live-resharding path (``repro.elasticity``) uses this to grow a
+        single-server deployment: ``server`` keeps every key it already
+        holds — including the WAL and checkpoint chain, which is why it must
+        become server 0 — and ``num_servers - 1`` fresh servers join it,
+        sharing its clock, trace-recording and latency-charging settings.
+        """
+        if num_servers < 2:
+            raise ValueError("a StorageCluster needs at least two servers")
+        cluster = cls.__new__(cls)
+        cluster.link_models = link_latency_models(latency, num_servers,
+                                                  link_extra_rtt_ms)
+        cluster.servers = [server] + [
+            InMemoryStorageServer(latency=model, clock=server.clock,
+                                  record_trace=server.trace is not None,
+                                  charge_latency=server.charge_latency)
+            for model in cluster.link_models[1:]
+        ]
+        return cluster
+
+    def resize(self, num_servers: int, latency="dummy",
+               link_extra_rtt_ms: Sequence[float] = ()) -> None:
+        """Grow or shrink the cluster to ``num_servers`` distinct servers.
+
+        Growth appends fresh servers (sharing the metadata server's clock
+        and settings, each on its own link model); shrinkage truncates from
+        the *end* of the server list, so the metadata server — and with it
+        the WAL and checkpoint chain — is never dropped.  Shrinking is only
+        safe once no live partition is hosted on the departing servers (the
+        reshard cutover guarantees this before it resizes).
+        """
+        if num_servers < 2:
+            raise ValueError("a StorageCluster needs at least two servers")
+        if num_servers <= len(self.servers):
+            del self.servers[num_servers:]
+            del self.link_models[num_servers:]
+            return
+        models = link_latency_models(latency, num_servers, link_extra_rtt_ms)
+        template = self.metadata_server
+        for model in models[len(self.servers):]:
+            self.link_models.append(model)
+            self.servers.append(
+                InMemoryStorageServer(latency=model, clock=template.clock,
+                                      record_trace=template.trace is not None,
+                                      charge_latency=template.charge_latency))
+
     @property
     def num_servers(self) -> int:
         """How many distinct storage servers the cluster runs."""

@@ -12,6 +12,12 @@ variants (``proxy_workers=4``, the sharded trusted tier — alone and
 stacked on the distributed topology): sharding, server topology and the
 proxy tier are implementation details and must clear the exact same bar —
 submission order, RunStats math, serializable histories, crash/recover.
+
+Elastic topologies extend the contract (``TestElasticReshard``): a live
+mid-run reshard must not change any of the above, a crash during the
+migration window recovers on the *retiring* side of the fence, a crash
+after the cutover recovers on the *new* side, and the open-loop accounting
+identity holds across a resharding run.
 """
 
 import random
@@ -24,6 +30,7 @@ from repro.api import (ENGINE_KINDS, EngineConfig, EngineFeatureUnavailable,
 from repro.audit import AuditingObserver
 from repro.concurrency import check_serializable
 from repro.core.client import Read, ReadMany, Write
+from repro.elasticity import AutoscalePolicy, ReshardPlan
 
 NUM_KEYS = 24
 
@@ -637,3 +644,243 @@ class TestAuditing:
         offline_ok, cycle = check_serializable(eng.committed_history)
         assert not offline_ok
         assert cycle is not None
+
+
+#: (source, target) topology endpoints for the live-reshard conformance
+#: tests: a data-moving scale-up, the symmetric scale-down, a pure
+#: proxy-tier rebalance (no data moves, instant cutover), and a worker-only
+#: change on the fully distributed layout.
+RESHARD_ENDPOINTS = [
+    ((1, 1, 1), (4, 2, 1)),
+    ((4, 2, 1), (1, 1, 1)),
+    ((1, 1, 1), (1, 1, 4)),
+    ((4, 4, 1), (4, 4, 4)),
+]
+
+_RESHARD_IDS = ["{}.{}.{}-to-{}.{}.{}".format(*source, *target)
+                for source, target in RESHARD_ENDPOINTS]
+
+
+def read_program(key: str):
+    """A read-only transaction; used to drain migration windows."""
+
+    def program():
+        value = yield Read(key)
+        return value
+
+    return program
+
+
+class TestElasticReshard:
+    """Live resharding is part of the engine contract: the capability is
+    gated like crash/recover, a mid-run topology change must not disturb
+    submission semantics, accounting, or serializability, and the migration
+    *fence* (the cutover checkpoint) decides which side a crash recovers
+    on — never both, never neither."""
+
+    def _plan(self, target) -> ReshardPlan:
+        shards, servers, workers = target
+        return ReshardPlan(shards=shards, storage_servers=servers,
+                           proxy_workers=workers)
+
+    def _narrow_config(self, shards: int = 1, storage_servers: int = 1,
+                       durability: bool = False) -> EngineConfig:
+        """Batches of 8 keep a 24-key migration in flight for ~3 barriers."""
+        config = (_config(shards, storage_servers)
+                  .with_batching(read_batches=3, read_batch_size=8,
+                                 write_batch_size=8))
+        return config.with_durability(durability) if durability else config
+
+    def _drain(self, eng, max_waves: int = 40) -> int:
+        """Read-only waves until the in-flight migration cuts over."""
+        committed = 0
+        waves = 0
+        while eng.reshard_in_flight and waves < max_waves:
+            # submit_many: single-shot submit never runs a wave boundary, so
+            # it neither starts staged plans nor steps in-flight migrations.
+            results = eng.submit_many([read_program("k0")])
+            committed += sum(int(r.committed) for r in results)
+            waves += 1
+        assert not eng.reshard_in_flight, "migration never completed"
+        return committed
+
+    def _topology(self, eng):
+        config = eng.proxy.config
+        return (config.shards, config.storage_servers, config.proxy_workers)
+
+    def test_capability_flag_gates_reshard(self, engine):
+        if engine.supports_reshard:
+            assert not engine.reshard_in_flight
+            return  # exercised below for the engine that reshards
+        with pytest.raises(EngineFeatureUnavailable):
+            engine.reshard(self._plan((4, 1, 1)))
+        assert not engine.reshard_in_flight
+
+    def test_second_reshard_while_in_flight_is_rejected(self):
+        eng = create_engine("obladi", self._narrow_config())
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        eng.reshard(self._plan((4, 2, 1)))
+        assert eng.reshard_in_flight
+        with pytest.raises(ValueError):
+            eng.reshard(self._plan((4, 4, 1)))
+
+    @pytest.mark.parametrize("source,target", RESHARD_ENDPOINTS,
+                             ids=_RESHARD_IDS)
+    def test_mid_run_reshard_clears_the_conformance_bar(self, source, target):
+        """A reshard injected between two closed-loop runs: the engine lands
+        on the target topology, lifetime stats keep accumulating across the
+        cutover, the combined history stays serializable, and committed
+        effects survive the move byte for byte."""
+        shards, servers, workers = source
+        eng = create_engine("obladi", _config(shards, servers, workers))
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        before = eng.run_closed_loop(mixed_source(seed=11), 16, clients=4)
+        eng.reshard(self._plan(target))
+        after = eng.run_closed_loop(mixed_source(seed=13), 16, clients=4)
+        drained = self._drain(eng)
+
+        assert self._topology(eng) == target
+        data_moved = (source[0], source[1]) != (target[0], target[1])
+        assert eng.proxy.config.generation == (1 if data_moved else 0)
+        totals = eng.stats()
+        assert totals.committed == \
+            before.committed + after.committed + drained
+        assert len(totals.migrations) == (1 if data_moved else 0)
+        assert len(eng.committed_history) == totals.committed
+        ok, cycle = check_serializable(eng.committed_history)
+        assert ok, f"resharded history has a serialization cycle: {cycle}"
+        # mixed_source appends one byte per commit to one of six hot keys;
+        # the migration must carry every appended byte into the new layout.
+        total_appends = sum(len(eng.read(f"k{i}")) - 1 for i in range(6))
+        assert total_appends == before.committed + after.committed
+        for i in range(6, NUM_KEYS):
+            assert eng.read(f"k{i}") == b"0"
+
+    def test_crash_during_migration_recovers_on_the_old_side(self):
+        """The staged plan and half-copied target generation are volatile:
+        a crash inside the migration window recovers the *retiring*
+        topology, with no trace of the abandoned reshard."""
+        eng = create_engine("obladi", self._narrow_config(durability=True))
+        eng.load_initial_data({f"k{i}": str(i).encode() for i in range(NUM_KEYS)})
+        eng.submit(append_program("k1"))
+        eng.reshard(self._plan((4, 2, 1)))
+        # The wave boundary starts the staged plan and runs one copy barrier.
+        eng.submit_many([append_program("k2")])
+        assert eng._migration is not None, "migration never started"
+        assert eng.reshard_in_flight, "migration drained too fast to test"
+        eng.crash()
+        eng.recover()
+        assert not eng.reshard_in_flight
+        assert self._topology(eng) == (1, 1, 1)
+        assert eng.proxy.config.generation == 0
+        assert eng.stats().migrations == ()
+        assert eng.read("k1") == b"1x"
+        assert eng.read("k2") == b"2x"
+        for i in range(3, NUM_KEYS):
+            assert eng.read(f"k{i}") == str(i).encode()
+        # The recovered engine reshards cleanly from scratch.
+        eng.reshard(self._plan((4, 2, 1)))
+        eng.submit_many([append_program("k3")])
+        self._drain(eng)
+        assert self._topology(eng) == (4, 2, 1)
+        ok, cycle = check_serializable(eng.committed_history)
+        assert ok, cycle
+
+    def test_crash_after_cutover_recovers_on_the_new_side(self):
+        """Past the fence — the cutover's full checkpoint — the durable
+        chain reflects only the new generation: recovery rebuilds the
+        *target* topology and every key read back from it."""
+        eng = create_engine("obladi", self._narrow_config(durability=True))
+        eng.load_initial_data({f"k{i}": str(i).encode() for i in range(NUM_KEYS)})
+        eng.submit(append_program("k1"))
+        eng.reshard(self._plan((4, 2, 1)))
+        eng.submit_many([append_program("k2")])
+        self._drain(eng)
+        assert self._topology(eng) == (4, 2, 1)
+        assert eng.proxy.config.generation == 1
+        committed_before = eng.stats().committed
+        eng.crash()
+        eng.recover()
+        # A crash loses in-flight state, not durable commits (reads commit
+        # too, so the count is checked before the read-back sweep below).
+        assert eng.stats().committed == committed_before
+        assert self._topology(eng) == (4, 2, 1)
+        assert eng.proxy.config.generation == 1
+        assert eng.read("k1") == b"1x"
+        assert eng.read("k2") == b"2x"
+        for i in range(3, NUM_KEYS):
+            assert eng.read(f"k{i}") == str(i).encode()
+        eng.submit(append_program("k3"))
+        assert eng.read("k3") == b"3x"
+        assert len(eng.stats().migrations) == 1
+        ok, cycle = check_serializable(eng.committed_history)
+        assert ok, cycle
+
+    def test_open_loop_accounting_identity_holds_across_reshard(self):
+        """Offered load, drops, retries, and attempts reconcile exactly even
+        when the serving topology changes mid-run, and the streaming auditor
+        rides the whole window."""
+        eng = create_engine("obladi", self._narrow_config())
+        eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        eng.attach_observer(AuditingObserver(settle_lag=2))
+        eng.reshard(self._plan((4, 2, 1)))        # begins at the first wave
+        run = eng.run_open_loop(mixed_source(seed=9), 24, arrivals=None,
+                                clients=4, queue_limit=16)
+        assert run.offered == 24
+        assert run.dropped == 24 - 16             # everything arrives at once
+        assert run.committed + run.aborted == \
+            (run.offered - run.dropped) + run.retries
+        assert len(run.results) == run.committed + run.aborted
+        assert run.audit is not None and run.audit.ok
+        self._drain(eng)
+        assert self._topology(eng) == (4, 2, 1)
+        assert len(eng.stats().migrations) == 1
+        ok, cycle = check_serializable(eng.committed_history)
+        assert ok, cycle
+
+
+class TestElasticSeamRegression:
+    """The elasticity seam is strictly pay-for-what-you-use: engines built
+    without ``with_autoscale`` that never call ``reshard()`` must produce
+    RunStats byte-identical to the pre-elasticity ones — the new fields stay
+    empty, out of repr, and out of the run's behaviour."""
+
+    def test_static_runs_carry_no_elasticity_state(self, engine, request):
+        """Every engine variant, fixed seed: no migrations, no controller,
+        neither field in the repr — and the run is reproducible byte for
+        byte by a fresh identically-configured engine."""
+        variant = request.node.callspec.params["engine"]
+        kind, shards, servers, workers, strategy = variant
+        run = engine.run_closed_loop(mixed_source(seed=11), 24, clients=8)
+        assert run.migrations == ()
+        assert run.controller is None
+        assert "migrations" not in repr(run)
+        assert "controller" not in repr(run)
+        twin = create_engine(kind, _config(shards, servers, workers, strategy))
+        twin.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+        rerun = twin.run_closed_loop(mixed_source(seed=11), 24, clients=8)
+        assert repr(run) == repr(rerun)
+
+    def test_idle_controller_leaves_runstats_byte_identical(self):
+        """The controller's one sanctioned deviation from the passive
+        observer contract is actuation; a policy that never triggers must
+        therefore change nothing — same seeds, one engine bare and one
+        autoscaled, byte-identical RunStats."""
+        idle = AutoscalePolicy(ladder=((1, 1, 1), (4, 1, 1)),
+                               queue_high=10**6, queue_low=0,
+                               patience=3, cooldown=3)
+        runs = {}
+        for label in ("bare", "autoscaled"):
+            config = _config()
+            if label == "autoscaled":
+                config = config.with_autoscale(idle)
+            eng = create_engine("obladi", config)
+            eng.load_initial_data({f"k{i}": b"0" for i in range(NUM_KEYS)})
+            runs[label] = eng.run_open_loop(
+                mixed_source(seed=11), 32,
+                arrivals=PoissonArrivals(400.0, seed=7), clients=8)
+        assert runs["bare"].controller is None
+        report = runs["autoscaled"].controller
+        assert report is not None and report.decisions == ()
+        assert runs["autoscaled"].migrations == ()
+        assert repr(runs["bare"]) == repr(runs["autoscaled"])
