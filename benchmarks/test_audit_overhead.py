@@ -16,19 +16,28 @@ three claims:
   a bounded multiple of the bare run's wall time (a loose 2x bound; in
   practice it is a few percent).
 
+The overhead is measured as the median ratio of three *interleaved*
+bare/audited rounds after a discarded warm-up run — a single cold
+``perf_counter`` sample per arm once put the *audited* arm ahead of the
+bare one (overhead_ratio 0.83), which is physically meaningless: the bare
+arm ran first and soaked up the process's import/allocator warm-up, and
+host-speed drift between the two measurement windows did the rest.
 The measured numbers are snapshotted to ``BENCH_audit.json`` in the repo
-root for FIGURES.md.
+root for FIGURES.md, and both arms are appended to the cross-PR trajectory
+ledger (``BENCH_trajectory.json``) via :mod:`repro.harness.perfbench`.
 """
 
 import json
 import os
+import statistics
 import time
 
 from repro.api import EngineConfig, create_engine
 from repro.audit import AuditingObserver
+from repro.harness import perfbench
 from repro.workloads.smallbank import SmallBankConfig, SmallBankWorkload
 
-from .conftest import run_once
+from .conftest import SCALE, run_once
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _SNAPSHOT = os.path.join(_REPO_ROOT, "BENCH_audit.json")
@@ -58,22 +67,36 @@ def test_audit_overhead(benchmark, bench_scale):
     clients = bench_scale["clients"]
     num_accounts = max(200, int(10_000 * bench_scale["workload_scale"]))
 
-    def pair():
-        runs = {}
-        for audited in (False, True):
-            engine, workload = _engine(num_accounts, clients)
-            if audited:
-                engine.attach_observer(AuditingObserver())
-            started = time.perf_counter()
-            stats = engine.run_closed_loop(workload.transaction_factory,
-                                           total_transactions=transactions,
-                                           clients=clients)
-            runs[audited] = (stats, time.perf_counter() - started)
-        return runs
+    def arm(audited):
+        engine, workload = _engine(num_accounts, clients)
+        if audited:
+            engine.attach_observer(AuditingObserver())
+        started = time.perf_counter()
+        stats = engine.run_closed_loop(workload.transaction_factory,
+                                       total_transactions=transactions,
+                                       clients=clients)
+        return stats, time.perf_counter() - started
 
-    runs = run_once(benchmark, pair)
-    bare, bare_wall = runs[False]
-    audited, audited_wall = runs[True]
+    def pair():
+        # Discarded warm-up: the first run in a fresh process pays import,
+        # allocator and cache warm-up that would otherwise land entirely in
+        # whichever arm is timed first (it once made the *audited* arm look
+        # 17% faster than bare).
+        arm(False)
+        # Three interleaved bare/audited rounds: back-to-back pairs share
+        # whatever thermal/scheduling state the host is in, so the per-round
+        # *ratio* is robust to the slow drift that independent medians of a
+        # single cold sample are hostage to.
+        rounds = [(arm(False), arm(True)) for _ in range(3)]
+        walls = {False: statistics.median(b[1] for b, _ in rounds),
+                 True: statistics.median(a[1] for _, a in rounds)}
+        ratio = statistics.median(a[1] / max(b[1], 1e-9) for b, a in rounds)
+        stats = {False: rounds[-1][0][0], True: rounds[-1][1][0]}
+        return stats, walls, ratio
+
+    stats, walls, overhead = run_once(benchmark, pair)
+    bare, bare_wall = stats[False], walls[False]
+    audited, audited_wall = stats[True], walls[True]
 
     # Claim 1: the simulation is untouched — byte-identical RunStats.
     assert bare.audit is None and audited.audit is not None
@@ -90,7 +113,7 @@ def test_audit_overhead(benchmark, bench_scale):
     assert report.max_retained_nodes < report.txns_ingested
 
     # Claim 3: loose wall-clock bound (generous — CI machines are noisy).
-    overhead = audited_wall / max(bare_wall, 1e-9)
+    # ``overhead`` is the median of the per-round audited/bare ratios.
     assert overhead < 2.0, f"auditing cost {overhead:.2f}x wall clock"
 
     snapshot = {
@@ -112,6 +135,18 @@ def test_audit_overhead(benchmark, bench_scale):
     with open(_SNAPSHOT, "w") as fh:
         json.dump(snapshot, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+    # Append both arms to the cross-PR trajectory ledger so the overhead
+    # history survives re-runs instead of being clobbered.
+    signature = perfbench.results_signature(bare)
+    for bench, wall, stats in (("audit-overhead-bare", bare_wall, bare),
+                               ("audit-overhead-audited", audited_wall, audited)):
+        perfbench.append_entry(
+            perfbench.DEFAULT_LEDGER, bench, wall, scale=SCALE, repeats=3,
+            metrics={"committed": stats.committed,
+                     "simulated_tps": round(stats.throughput_tps, 1),
+                     "overhead_ratio": round(overhead, 4)},
+            signature=signature)
 
     print(f"\n  bare {bare_wall * 1e3:8.1f} ms   audited {audited_wall * 1e3:8.1f} ms"
           f"   overhead {overhead:5.2f}x")

@@ -18,15 +18,18 @@ the PR's acceptance bar:
   and one completed oblivious migration window.
 
 The measured rows are snapshotted to ``BENCH_elasticity.json`` in the repo
-root for FIGURES.md.
+root for FIGURES.md, and the sweep is appended to the cross-PR trajectory
+ledger (``BENCH_trajectory.json``).
 """
 
 import json
 import os
+import time
 
+from repro.harness import perfbench
 from repro.harness.experiments import run_elasticity_comparison
 
-from .conftest import run_once
+from .conftest import SCALE, run_once
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _SNAPSHOT = os.path.join(_REPO_ROOT, "BENCH_elasticity.json")
@@ -55,9 +58,11 @@ def test_autoscaler_beats_static_under_flash_crowd(benchmark, bench_scale):
     transactions = max(900, 3 * bench_scale["transactions"])
 
     def sweep():
-        return run_elasticity_comparison(transactions=transactions)
+        started = time.perf_counter()
+        rows = run_elasticity_comparison(transactions=transactions)
+        return rows, time.perf_counter() - started
 
-    rows = run_once(benchmark, sweep)
+    rows, sweep_wall = run_once(benchmark, sweep)
     _print_rows(rows)
 
     by_mode = {row.mode: row for row in rows}
@@ -106,3 +111,13 @@ def test_autoscaler_beats_static_under_flash_crowd(benchmark, bench_scale):
     with open(_SNAPSHOT, "w") as fh:
         json.dump(snapshot, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+    # Append the sweep to the cross-PR trajectory ledger.
+    perfbench.append_entry(
+        perfbench.DEFAULT_LEDGER, "elasticity-flash-crowd", sweep_wall,
+        scale=SCALE, repeats=1,
+        metrics={"autoscaled_dropped": autoscaled.dropped,
+                 "static_dropped": static.dropped,
+                 "autoscaled_tps": round(autoscaled.achieved_tps, 2),
+                 "static_tps": round(static.achieved_tps, 2)},
+        signature=perfbench.results_signature(snapshot["rows"]))

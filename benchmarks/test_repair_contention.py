@@ -21,18 +21,21 @@ ceiling — on the two contended workloads of the evaluation and pins:
   committed history additionally passes the *offline* cycle check.
 
 The measured rows are snapshotted to ``BENCH_repair.json`` in the repo root
-for FIGURES.md.
+for FIGURES.md, and each workload's sweep is appended to the cross-PR
+trajectory ledger (``BENCH_trajectory.json``).
 """
 
 import json
 import os
+import time
 
 from repro.api import EngineConfig, create_engine
 from repro.concurrency import check_serializable
+from repro.harness import perfbench
 from repro.workloads.smallbank import SmallBankConfig, SmallBankWorkload
 from repro.harness.experiments import run_repair_comparison
 
-from .conftest import run_once
+from .conftest import SCALE, run_once
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _SNAPSHOT = os.path.join(_REPO_ROOT, "BENCH_repair.json")
@@ -60,12 +63,17 @@ def test_repair_beats_retry_at_the_knee(benchmark, bench_scale):
     num_accounts = max(60, int(2_000 * bench_scale["workload_scale"]))
 
     def sweep():
-        return {workload: run_repair_comparison(
-                    rate_multipliers=MULTIPLIERS, transactions=transactions,
-                    clients=16, num_accounts=num_accounts, workload=workload)
-                for workload in ("smallbank", "ycsb")}
+        walls = {}
+        results = {}
+        for workload in ("smallbank", "ycsb"):
+            started = time.perf_counter()
+            results[workload] = run_repair_comparison(
+                rate_multipliers=MULTIPLIERS, transactions=transactions,
+                clients=16, num_accounts=num_accounts, workload=workload)
+            walls[workload] = time.perf_counter() - started
+        return results, walls
 
-    sweeps = run_once(benchmark, sweep)
+    sweeps, sweep_walls = run_once(benchmark, sweep)
 
     snapshot = {}
     for workload, rows in sweeps.items():
@@ -113,6 +121,22 @@ def test_repair_beats_retry_at_the_knee(benchmark, bench_scale):
     with open(_SNAPSHOT, "w") as fh:
         json.dump(snapshot, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+    # Append each workload's sweep to the cross-PR trajectory ledger.
+    for workload, rows in sweeps.items():
+        by_key = {(row.strategy, row.rate_multiplier): row for row in rows}
+        perfbench.append_entry(
+            perfbench.DEFAULT_LEDGER, f"repair-contention-{workload}",
+            sweep_walls[workload], scale=SCALE, repeats=1,
+            metrics={"repair_tps_at_knee":
+                         round(by_key[("repair", AT_KNEE)].achieved_tps, 2),
+                     "retry_tps_at_knee":
+                         round(by_key[("retry", AT_KNEE)].achieved_tps, 2),
+                     "repair_wasted":
+                         by_key[("repair", AT_KNEE)].wasted_attempts,
+                     "retry_wasted":
+                         by_key[("retry", AT_KNEE)].wasted_attempts},
+            signature=perfbench.results_signature(snapshot[workload]))
 
 
 def test_repair_smoke_offline_serializable(benchmark):

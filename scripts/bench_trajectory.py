@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Append a benchmark run to the perf-trajectory ledger and gate regressions.
+
+Runs one of the named wall-clock benchmarks (default: the shards=4 SmallBank
+closed loop that the hot-path profile targets), appends the measurement to
+``BENCH_trajectory.json`` via :mod:`repro.harness.perfbench`, and — with
+``--check`` — fails when the fresh measurement is more than 25% slower than
+the best recorded baseline with the same simulated results.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py            # record
+    PYTHONPATH=src python scripts/bench_trajectory.py --check    # gate
+    PYTHONPATH=src python scripts/bench_trajectory.py --scale smoke --check
+
+The ledger keys every entry by (bench, scale, git SHA) and stores a digest
+of the run's ``RunStats`` repr; entries only compete on wall clock when
+their simulated results match, so "faster" can never silently mean
+"computed something else".
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from profile_hotpath import run_workload  # noqa: E402
+
+#: Scale presets: transactions, clients, accounts.  ``default`` is the
+#: profile configuration; ``smoke`` keeps the CI gate to a couple seconds.
+SCALES = {
+    "default": {"transactions": 192, "clients": 24, "accounts": 400},
+    "smoke": {"transactions": 48, "clients": 12, "accounts": 200},
+}
+
+BENCHES = ("smallbank-sharded-closed-loop",)
+
+
+def run_bench(bench: str, scale: str, shards: int = 4, seed: int = 17):
+    """One fixed-seed run of ``bench`` at ``scale``; returns its RunStats."""
+    if bench not in BENCHES:
+        raise ValueError(f"unknown bench {bench!r}; choose from {BENCHES}")
+    knobs = SCALES[scale]
+    return run_workload(shards=shards, num_accounts=knobs["accounts"],
+                        transactions=knobs["transactions"],
+                        clients=knobs["clients"], encrypt=True, seed=seed)
+
+
+def main(argv=None) -> int:
+    """Record (and optionally gate) one trajectory measurement."""
+    from repro.harness import perfbench
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default=BENCHES[0], choices=BENCHES)
+    parser.add_argument("--scale", default="default", choices=sorted(SCALES))
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="median-of-N wall-clock measurement (default 3)")
+    parser.add_argument("--ledger", default=perfbench.DEFAULT_LEDGER)
+    parser.add_argument("--no-append", action="store_true",
+                        help="measure and check without recording")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) on a >25%% wall-clock regression "
+                             "against the best recorded baseline")
+    parser.add_argument("--rebaseline", metavar="REASON",
+                        help="declare that the simulated results changed on "
+                             "purpose (a correctness fix): record this run "
+                             "as the new drift baseline instead of failing "
+                             "the signature comparison")
+    args = parser.parse_args(argv)
+
+    wall, stats = perfbench.median_wall(
+        lambda: run_bench(args.bench, args.scale), repeats=args.repeats)
+    signature = perfbench.results_signature(stats)
+    metrics = {
+        "committed": stats.committed,
+        "aborted": stats.aborted,
+        "simulated_tps": round(stats.throughput_tps, 2),
+        "wall_per_committed_ms": round(1e3 * wall / max(stats.committed, 1), 3),
+    }
+    print(f"{args.bench} [{args.scale}]: wall {wall:.3f}s "
+          f"(median of {args.repeats}), committed {stats.committed}, "
+          f"simulated {stats.throughput_tps:.1f} tps, {signature}")
+
+    # Simulated results must match every prior entry since the last declared
+    # re-baseline: a ledger where "fast" entries computed different answers
+    # is not a trajectory.  ``--rebaseline REASON`` is the sanctioned escape
+    # hatch for a correctness fix that changes what the simulation should
+    # compute; the reason is recorded on the entry.
+    entries = perfbench.load_entries(args.ledger)
+    prior = [e for e in perfbench.entries_since_rebaseline(
+                 entries, args.bench, scale=args.scale)
+             if e.get("results_signature")]
+    drifted = sorted({e["results_signature"] for e in prior} - {signature})
+    if drifted and not args.rebaseline:
+        print(f"ERROR: simulated results drifted — this run signs {signature} "
+              f"but the ledger holds {', '.join(drifted)} for the same "
+              f"(bench, scale); fixed-seed RunStats must stay byte-identical. "
+              f"If a correctness fix changed the results on purpose, re-record "
+              f"with --rebaseline REASON.",
+              file=sys.stderr)
+        return 1
+
+    failure = None
+    if args.check:
+        failure = perfbench.check_regression(args.ledger, args.bench, wall,
+                                             scale=args.scale,
+                                             signature=signature)
+    if not args.no_append:
+        perfbench.append_entry(args.ledger, args.bench, wall,
+                               scale=args.scale, repeats=args.repeats,
+                               metrics=metrics, signature=signature,
+                               rebaseline=args.rebaseline)
+        print(f"appended to {os.path.relpath(args.ledger)}")
+    if failure:
+        print(f"ERROR: {failure}", file=sys.stderr)
+        return 1
+    if args.check:
+        best = perfbench.best_baseline(entries, args.bench, scale=args.scale,
+                                       signature=signature)
+        if best is not None:
+            print(f"regression gate OK: within 25% of best recorded "
+                  f"{best['wall_s']:.3f}s ({best['git_sha']})")
+        else:
+            print("regression gate OK: first recorded baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

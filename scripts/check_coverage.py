@@ -34,6 +34,9 @@ GATES = {
     "audit": ("*/repro/audit/*", 85.0),
     "concurrency": ("*/repro/concurrency/*", 85.0),
     "elasticity": ("*/repro/elasticity/*", 85.0),
+    # The vectorised hot path: the property suite must actually exercise
+    # both the numpy and the fallback arms of the batched helpers.
+    "oram": ("*/repro/oram/*", 85.0),
 }
 
 

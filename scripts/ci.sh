@@ -25,17 +25,27 @@ python -m pytest -q benchmarks/test_repair_contention.py -k smoke
 echo "== smoke: autoscaled elastic topology beats static under a flash crowd =="
 python -m pytest -q benchmarks/test_elasticity_smoke.py
 
+# Perf gate: a profiled smoke run proves the hot-path instrumentation still
+# works, then the trajectory ledger run fails on a >25% wall-clock
+# regression of the sharded closed loop against the best recorded baseline
+# (and on any fixed-seed simulated-results drift).
+echo "== perf: profiled hot-path smoke =="
+python scripts/profile_hotpath.py --smoke
+echo "== perf: benchmark trajectory ledger (regression gate) =="
+python scripts/bench_trajectory.py --scale smoke --check
+
 echo "== tier-1: unit, property, integration and benchmark suites =="
 # With pytest-cov available the tier-1 run doubles as the coverage run, and
-# floors are enforced on src/repro/api, src/repro/audit, src/repro/concurrency
-# and src/repro/elasticity — the layers the conformance, loop-driver, auditor,
-# MVTSO/repair and elasticity suites are supposed to pin down.
+# floors are enforced on src/repro/api, src/repro/audit, src/repro/concurrency,
+# src/repro/elasticity and src/repro/oram — the layers the conformance,
+# loop-driver, auditor, MVTSO/repair, elasticity and vectorised-path-math
+# suites are supposed to pin down.
 # Without it (the tier-1 dependencies are stdlib + pytest only) the suite
 # runs uninstrumented.
 if python -c "import pytest_cov" 2>/dev/null; then
     python -m pytest -x -q --cov=repro
     python scripts/check_coverage.py --min-api 85 --min-audit 85 \
-        --min-concurrency 85 --min-elasticity 85
+        --min-concurrency 85 --min-elasticity 85 --min-oram 85
 else
     echo "(pytest-cov not installed; running without the coverage gate)"
     python -m pytest -x -q

@@ -1,0 +1,241 @@
+"""Cross-PR benchmark trajectory ledger.
+
+Every benchmark that measures wall-clock cost used to overwrite its
+``BENCH_*.json`` snapshot in place, so the *trajectory* of the numbers
+across PRs — the whole point of tracking them — was lost.  This module
+gives the benchmark suite one append-only ledger, ``BENCH_trajectory.json``
+in the repository root: each run appends an entry keyed by benchmark name,
+git SHA and scale, and a regression gate compares a fresh measurement
+against the best recorded baseline for the same key.
+
+Ledger format (one JSON document holding a list of entries)::
+
+    {"entries": [
+        {"bench": "smallbank-sharded-closed-loop",   # benchmark key
+         "scale": "default",                          # scale key
+         "git_sha": "cde1b34", "dirty": true,         # code under test
+         "recorded_utc": "2026-08-08T …",             # wall-clock stamp
+         "wall_s": 17.92,                             # measured seconds
+         "repeats": 3,                                # median-of-N
+         "metrics": {…},                              # bench-specific extras
+         "results_signature": "sha256:…",             # RunStats repr digest
+         "rebaseline": "…"},                          # optional: why results
+        …]}                                           #   legitimately changed
+
+The ``results_signature`` ties a wall-clock number to the *simulated*
+outcome that produced it: two entries for the same (bench, scale) are only
+comparable when their signatures match, which is exactly the acceptance bar
+for the vectorised hot path — faster wall clock, byte-identical results.
+
+A ``rebaseline`` marker records the one sanctioned way for a fixed-seed
+signature to change: a correctness fix that alters what the simulation
+*should* compute.  Drift detection restarts at the most recent marker
+(:func:`entries_since_rebaseline`); earlier entries stay in the ledger as
+history but no longer constrain fresh runs.
+
+>>> import tempfile, os
+>>> path = os.path.join(tempfile.mkdtemp(), "BENCH_trajectory.json")
+>>> append_entry(path, "demo", wall_s=4.0, scale="smoke")["bench"]
+'demo'
+>>> _ = append_entry(path, "demo", wall_s=1.0, scale="smoke")
+>>> best_baseline(load_entries(path), "demo", scale="smoke")["wall_s"]
+1.0
+>>> check_regression(path, "demo", wall_s=1.2, scale="smoke") is None
+True
+>>> check_regression(path, "demo", wall_s=2.0, scale="smoke")  # doctest: +ELLIPSIS
+"bench 'demo' (scale 'smoke') regressed: ..."
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import statistics
+import subprocess
+import time
+from datetime import datetime, timezone
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_LEDGER",
+    "append_entry",
+    "best_baseline",
+    "check_regression",
+    "entries_since_rebaseline",
+    "git_sha",
+    "load_entries",
+    "median_wall",
+    "results_signature",
+]
+
+#: Default ledger location: ``BENCH_trajectory.json`` in the repository root.
+DEFAULT_LEDGER = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))),
+    "BENCH_trajectory.json")
+
+#: A fresh measurement may be at most this factor slower than the best
+#: recorded baseline before the regression gate fails (the ISSUE's 25%).
+REGRESSION_THRESHOLD = 1.25
+
+
+def git_sha(repo_root: Optional[str] = None) -> Tuple[str, bool]:
+    """The repository's current commit (short SHA) and whether the tree is dirty.
+
+    Falls back to ``("unknown", False)`` when git is unavailable — the
+    ledger must stay usable from an exported tarball.
+    """
+    root = repo_root or os.path.dirname(DEFAULT_LEDGER)
+    try:
+        sha = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             cwd=root, capture_output=True, text=True,
+                             timeout=10, check=True).stdout.strip()
+        status = subprocess.run(["git", "status", "--porcelain"],
+                                cwd=root, capture_output=True, text=True,
+                                timeout=10, check=True).stdout.strip()
+        return sha, bool(status)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown", False
+
+
+def results_signature(obj: Any) -> str:
+    """Digest of a run's simulated outcome (``repr`` of its ``RunStats``).
+
+    Fixed seeds make ``RunStats`` repr-deterministic, so the signature pins
+    "same simulated results" across code changes without storing the whole
+    repr in the ledger.
+    """
+    return "sha256:" + hashlib.sha256(repr(obj).encode("utf-8")).hexdigest()[:16]
+
+
+def median_wall(fn: Callable[[], Any], repeats: int = 3) -> Tuple[float, Any]:
+    """Median wall-clock seconds of ``repeats`` runs of ``fn``.
+
+    Returns ``(median_seconds, last_result)``.  One-sample timings are what
+    made the committed audit-overhead snapshot claim auditing was *faster*
+    than bare; a median of three is cheap insurance against scheduler noise.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    walls: List[float] = []
+    result: Any = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        walls.append(time.perf_counter() - started)
+    return statistics.median(walls), result
+
+
+def load_entries(path: str = DEFAULT_LEDGER) -> List[Dict[str, Any]]:
+    """All recorded ledger entries (empty list when no ledger exists yet)."""
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return list(payload.get("entries", []))
+
+
+def append_entry(path: str, bench: str, wall_s: float, *,
+                 scale: str = "default", repeats: int = 1,
+                 metrics: Optional[Dict[str, Any]] = None,
+                 signature: Optional[str] = None,
+                 rebaseline: Optional[str] = None) -> Dict[str, Any]:
+    """Append one measurement to the ledger and return the stored entry.
+
+    Entries are never overwritten: the ledger is the history.  ``metrics``
+    carries bench-specific numbers (simulated tps, committed count, …) and
+    ``signature`` the :func:`results_signature` of the simulated outcome.
+    ``rebaseline`` — a short human-readable reason — declares that the
+    simulated results changed *on purpose* (a correctness fix); drift
+    detection restarts at this entry.
+    """
+    sha, dirty = git_sha(os.path.dirname(os.path.abspath(path)))
+    entry: Dict[str, Any] = {
+        "bench": bench,
+        "scale": scale,
+        "git_sha": sha,
+        "dirty": dirty,
+        "recorded_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "wall_s": round(float(wall_s), 4),
+        "repeats": int(repeats),
+        "metrics": dict(metrics or {}),
+    }
+    if signature is not None:
+        entry["results_signature"] = signature
+    if rebaseline is not None:
+        entry["rebaseline"] = rebaseline
+    entries = load_entries(path)
+    entries.append(entry)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"entries": entries}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return entry
+
+
+def entries_since_rebaseline(entries: List[Dict[str, Any]], bench: str, *,
+                             scale: str = "default") -> List[Dict[str, Any]]:
+    """The ``(bench, scale)`` entries from the latest re-baseline onward.
+
+    Returns the suffix of matching entries starting at the most recent one
+    carrying a ``rebaseline`` marker (inclusive); with no marker recorded,
+    every matching entry.  This is the window a fresh run's results
+    signature must agree with — entries before a declared re-baseline are
+    history, not a constraint.
+
+    >>> entries = [{"bench": "b", "scale": "s", "results_signature": "sha256:a"},
+    ...            {"bench": "b", "scale": "s", "results_signature": "sha256:b",
+    ...             "rebaseline": "fixed a lost update"},
+    ...            {"bench": "b", "scale": "s", "results_signature": "sha256:b"}]
+    >>> [e["results_signature"] for e in entries_since_rebaseline(entries, "b",
+    ...                                                           scale="s")]
+    ['sha256:b', 'sha256:b']
+    """
+    matching = [e for e in entries
+                if e.get("bench") == bench and e.get("scale") == scale]
+    for index in range(len(matching) - 1, -1, -1):
+        if matching[index].get("rebaseline"):
+            return matching[index:]
+    return matching
+
+
+def best_baseline(entries: List[Dict[str, Any]], bench: str, *,
+                  scale: str = "default",
+                  signature: Optional[str] = None) -> Optional[Dict[str, Any]]:
+    """The fastest recorded entry for ``(bench, scale)``, or ``None``.
+
+    When ``signature`` is given only entries with a matching results
+    signature compete — a wall-clock comparison is only meaningful between
+    runs that produced identical simulated results.
+    """
+    candidates = [e for e in entries
+                  if e.get("bench") == bench and e.get("scale") == scale
+                  and (signature is None
+                       or e.get("results_signature") in (None, signature))]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda e: e["wall_s"])
+
+
+def check_regression(path: str, bench: str, wall_s: float, *,
+                     scale: str = "default",
+                     signature: Optional[str] = None,
+                     threshold: float = REGRESSION_THRESHOLD) -> Optional[str]:
+    """Compare a fresh measurement against the best recorded baseline.
+
+    Returns ``None`` when the measurement is within ``threshold`` (default
+    25% slower) of the best recorded baseline for the same (bench, scale) —
+    or when no baseline exists yet — and a human-readable failure message
+    otherwise.
+    """
+    baseline = best_baseline(load_entries(path), bench, scale=scale,
+                             signature=signature)
+    if baseline is None:
+        return None
+    limit = baseline["wall_s"] * threshold
+    if wall_s <= limit:
+        return None
+    return (f"bench {bench!r} (scale {scale!r}) regressed: {wall_s:.3f}s vs "
+            f"best recorded {baseline['wall_s']:.3f}s at "
+            f"{baseline['git_sha']} (limit {limit:.3f}s, "
+            f"threshold {threshold:.2f}x)")

@@ -128,51 +128,69 @@ class EpochBatchExecutor:
     # ------------------------------------------------------------------ #
     # Physical fetch helpers
     # ------------------------------------------------------------------ #
-    def _fetch_slot(self, slot: SlotRead,
-                    physical: List[PhysicalRead]) -> Optional[Tuple[Optional[int], bytes]]:
-        """Obtain one slot's sealed payload, from buffer, cache or storage.
+    def _fetch_slots(self, slot_reads: Sequence[SlotRead],
+                     physical: List[PhysicalRead]) -> Dict[int, bytes]:
+        """Fetch a plan's slots with one storage batch and one decrypt batch.
 
-        Returns the decrypted ``(block_id, value)`` when the slot holds a real
-        block we expected, else ``None``.  Appends a :class:`PhysicalRead`
-        descriptor when a request actually had to go to the server.
+        Each slot's sealed payload comes from the epoch write buffer, the
+        epoch read cache, or the server; all server misses of the plan are
+        issued as a *single* ``read_batch`` and all recovered real blocks are
+        opened with a *single*
+        :meth:`~repro.oram.crypto.CipherSuite.open_blocks` call — the
+        per-slot bookkeeping (cache fills, :class:`PhysicalRead` descriptors,
+        stats) is unchanged from the historical one-call-per-slot form.
+        Returns ``{block_id: value}`` for the real blocks recovered.
         """
-        buffered = self._buffered_versions.get((slot.bucket_id, slot.version))
-        if buffered is not None:
-            self.stats.local_buffer_hits += 1
-            if slot.expected_block is not None:
-                value = buffered.plain_contents.get(slot.expected_block)
-                if value is not None:
-                    return slot.expected_block, value
-            return None
+        cache = self._read_cache
+        missing: List[SlotRead] = []
+        for slot in slot_reads:
+            if (slot.bucket_id, slot.version) in self._buffered_versions:
+                continue
+            key = slot.storage_key
+            if key not in cache:
+                cache[key] = None           # placeholder; filled below
+                missing.append(slot)
+        if missing:
+            keys = [slot.storage_key for slot in missing]
+            result = self.oram.storage.read_batch(keys, parallelism=1,
+                                                  record_batch=False)
+            for slot, key in zip(missing, keys):
+                cache[key] = result.values.get(key)
+                physical.append(PhysicalRead(
+                    key=key, bucket_id=slot.bucket_id,
+                    level=path_math.bucket_level(slot.bucket_id)))
+            self.stats.physical_reads += len(missing)
+            self.lifetime_stats.physical_reads += len(missing)
 
-        key = slot.storage_key
-        if key in self._read_cache:
-            blob = self._read_cache[key]
-        else:
-            result = self.oram.storage.read_batch([key], parallelism=1, record_batch=False)
-            blob = result.values.get(key)
-            self._read_cache[key] = blob
-            level = path_math.bucket_level(slot.bucket_id)
-            physical.append(PhysicalRead(key=key, bucket_id=slot.bucket_id, level=level))
-            self.stats.physical_reads += 1
-            self.lifetime_stats.physical_reads += 1
-
-        if blob is None or slot.expected_block is None:
-            return None
-        context = freshness_context(slot.bucket_id, slot.version, slot.slot_index)
-        block_id, value = self.oram.cipher.open_block(blob, context)
-        if block_id is None:
-            return None
-        return block_id, value
+        fetched: Dict[int, bytes] = {}
+        to_open: List[bytes] = []
+        to_open_contexts: List[bytes] = []
+        for slot in slot_reads:
+            buffered = self._buffered_versions.get((slot.bucket_id, slot.version))
+            if buffered is not None:
+                self.stats.local_buffer_hits += 1
+                if slot.expected_block is not None:
+                    value = buffered.plain_contents.get(slot.expected_block)
+                    if value is not None:
+                        fetched[slot.expected_block] = value
+                continue
+            if slot.expected_block is None:
+                continue
+            blob = cache.get(slot.storage_key)
+            if blob is None:
+                continue
+            to_open.append(blob)
+            to_open_contexts.append(freshness_context(
+                slot.bucket_id, slot.version, slot.slot_index))
+        for block_id, value in self.oram.cipher.open_blocks(to_open,
+                                                            to_open_contexts):
+            if block_id is not None:
+                fetched[block_id] = value
+        return fetched
 
     def _drain_plan(self, plan: EvictionPlan, physical: List[PhysicalRead]) -> Dict[int, bytes]:
         """Fetch every slot of an eviction/reshuffle read phase."""
-        fetched: Dict[int, bytes] = {}
-        for slot in plan.slot_reads:
-            opened = self._fetch_slot(slot, physical)
-            if opened is not None and opened[0] is not None:
-                fetched[opened[0]] = opened[1]
-        return fetched
+        return self._fetch_slots(plan.slot_reads, physical)
 
     def _buffer_rewrites(self, rewrites: Sequence[BucketRewrite],
                          physical: List[PhysicalRead]) -> None:
@@ -265,11 +283,7 @@ class EpochBatchExecutor:
                 continue
 
             plan: PathReadPlan = self.oram.plan_path_read(block_id)
-            fetched: Dict[int, bytes] = {}
-            for slot in plan.slot_reads:
-                opened = self._fetch_slot(slot, physical)
-                if opened is not None and opened[0] is not None:
-                    fetched[opened[0]] = opened[1]
+            fetched = self._fetch_slots(plan.slot_reads, physical)
 
             if block_id is not None:
                 if block_id in fetched:

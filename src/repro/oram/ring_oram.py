@@ -296,10 +296,12 @@ class RingOram:
             return rewrites
 
         # Ordinary evict-path: fill buckets from the leaf upwards so blocks
-        # land as deep as possible.
+        # land as deep as possible.  The stash scan is batched: every entry's
+        # deepest common level with the target path comes from one
+        # vectorised pass instead of a per-entry bit walk.
         placements: Dict[int, List[Tuple[int, bytes]]] = {bid: [] for bid in plan.bucket_ids}
-        for entry in self.stash.entries():
-            common = path_math.deepest_common_level(entry.leaf, plan.leaf, self.params.depth)
+        for entry, common in self.stash.entries_with_common_levels(
+                plan.leaf, self.params.depth):
             placed = False
             for level in range(common, -1, -1):
                 bid = plan.bucket_ids[level]
@@ -335,19 +337,23 @@ class RingOram:
         return self._build_rewrite(bucket_id, placements)
 
     def _build_rewrite(self, bucket_id: int, contents: List[Tuple[int, bytes]]) -> BucketRewrite:
-        """Produce the sealed slot payloads for a bucket's next version."""
+        """Produce the sealed slot payloads for a bucket's next version.
+
+        The whole bucket — ``Z + S`` real and dummy slots — is sealed with
+        one :meth:`~repro.oram.crypto.CipherSuite.seal_blocks` call instead
+        of a cipher call per slot; bucket rewrites dominate the hot path.
+        """
         meta = self.metadata.rewrite_bucket(bucket_id, contents)
         version = meta.version
         by_block = dict(contents)
-        payloads: Dict[int, bytes] = {}
-        for idx, slot in enumerate(meta.slots):
-            context = freshness_context(bucket_id, version, idx)
-            if slot.block_id is not None:
-                payloads[idx] = self.cipher.seal_block(slot.block_id, by_block[slot.block_id],
-                                                       context)
-            else:
-                payloads[idx] = self.cipher.dummy_block(context)
-        return BucketRewrite(bucket_id=bucket_id, version=version, slot_payloads=payloads,
+        entries = [
+            (slot.block_id,
+             by_block[slot.block_id] if slot.block_id is not None else b"",
+             freshness_context(bucket_id, version, idx))
+            for idx, slot in enumerate(meta.slots)]
+        sealed = self.cipher.seal_blocks(entries)
+        return BucketRewrite(bucket_id=bucket_id, version=version,
+                             slot_payloads=dict(enumerate(sealed)),
                              plain_contents=dict(by_block))
 
     def buckets_needing_reshuffle(self, bucket_ids: Sequence[int]) -> List[int]:
@@ -499,11 +505,20 @@ class RingOram:
             return
         for bid in path_math.path_buckets(leaf, self.params.depth):
             meta = self.metadata.bucket(bid)
+            changed = False
             for slot in meta.slots:
                 if slot.block_id == block_id:
+                    # Clear every recorded copy on the path, valid or not.
+                    # Invalidated slots keep their block id until the bucket
+                    # is rewritten, so stopping at the first match could hit
+                    # a consumed slot near the root (the root is on *every*
+                    # path) and leave the live copy deeper down — a later
+                    # bucket drain would then resurrect the stale value over
+                    # the freshly written one (a lost update).
                     slot.block_id = None
-                    self.metadata.mark_dirty(bid)
-                    return
+                    changed = True
+            if changed:
+                self.metadata.mark_dirty(bid)
         # The block may only exist in the stash (or nowhere yet); nothing to do.
 
     # ------------------------------------------------------------------ #
@@ -519,11 +534,18 @@ class RingOram:
         filled through the normal protocol (every slot is a fresh
         ciphertext).
         """
+        ordered = sorted(blocks.items())
+        # Assign leaves first (one RNG draw per block, in block-id order —
+        # exactly the sequential behaviour), then compute every root-to-leaf
+        # path in one vectorised sweep.
+        leaves = [self.position_map.lookup_or_assign(block_id)
+                  for block_id, _ in ordered]
+        paths = path_math.path_buckets_many(leaves, self.params.depth)
+        paths = paths.tolist() if hasattr(paths, "tolist") else paths
+
         placements: Dict[int, List[Tuple[int, bytes]]] = {}
-        for block_id, value in sorted(blocks.items()):
-            leaf = self.position_map.lookup_or_assign(block_id)
+        for (block_id, value), leaf, path in zip(ordered, leaves, paths):
             placed = False
-            path = path_math.path_buckets(leaf, self.params.depth)
             for bid in reversed(path):
                 bucket_load = placements.setdefault(bid, [])
                 if len(bucket_load) < self.params.z_real:

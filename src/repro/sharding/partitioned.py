@@ -32,8 +32,9 @@ the shared :class:`~repro.sim.clock.SimClock` once per fan-out.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.config import ObladiConfig
 from repro.core.version_cache import VersionCache
@@ -130,6 +131,11 @@ class PartitionedDataLayer(DataLayer):
                                 self.cache, component_prefix=prefix,
                                 seed=seed, advance_clock=False, latency=link))
         self._partition_cache: Dict[str, int] = {}
+        # Midstate of sha256 over the seed prefix: routing a cache-missed key
+        # is one ``copy() + update(key)`` instead of re-hashing the prefix —
+        # byte-identical to :func:`repro.sharding.data_layer.key_partition`.
+        self._route_state = hashlib.sha256(
+            f"{config.partition_seed}:".encode("utf-8"))
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -138,17 +144,49 @@ class PartitionedDataLayer(DataLayer):
         """Index of the partition whose tree holds ``key`` (cached hash)."""
         index = self._partition_cache.get(key)
         if index is None:
-            index = key_partition(key, self.config.shards, self.config.partition_seed)
+            digest = self._route_state.copy()
+            digest.update(key.encode("utf-8"))
+            index = int.from_bytes(digest.digest()[:8], "big") % self.config.shards
             self._partition_cache[key] = index
         return index
+
+    def partitions_of(self, keys: Iterable[str]) -> List[int]:
+        """Partition index of every key — the batched :meth:`partition_of`.
+
+        One pass over the routing cache; only cache misses touch the hash,
+        each via the shared seed-prefix midstate.  Both epoch fan-outs route
+        their whole padded batch through this single call.
+        """
+        cache = self._partition_cache
+        shards = self.config.shards
+        state = self._route_state
+        out: List[int] = []
+        for key in keys:
+            index = cache.get(key)
+            if index is None:
+                digest = state.copy()
+                digest.update(key.encode("utf-8"))
+                index = int.from_bytes(digest.digest()[:8], "big") % shards
+                cache[key] = index
+            out.append(index)
+        return out
 
     # ------------------------------------------------------------------ #
     # Epoch lifecycle
     # ------------------------------------------------------------------ #
     def _group_keys(self, keys) -> List[List[str]]:
         groups: List[List[str]] = [[] for _ in self.partitions]
-        for key in keys:
-            groups[self.partition_of(key)].append(key)
+        keys = list(keys)
+        for key, index in zip(keys, self.partitions_of(keys)):
+            groups[index].append(key)
+        return groups
+
+    def _group_items(self, items: Dict[str, bytes]) -> List[Dict[str, bytes]]:
+        """Split a write batch into per-partition dicts (one routing call)."""
+        groups: List[Dict[str, bytes]] = [{} for _ in self.partitions]
+        keys = list(items)
+        for key, index in zip(keys, self.partitions_of(keys)):
+            groups[index][key] = items[key]
         return groups
 
     def begin_epoch(self) -> None:
@@ -211,10 +249,7 @@ class PartitionedDataLayer(DataLayer):
         """Fan the epoch's write batch out as padded per-partition batches."""
         del batch_size
         quota = self.config.partition_write_batch_size
-        groups: List[Dict[str, bytes]] = [{} for _ in self.partitions]
-        for key, value in items.items():
-            groups[self.partition_of(key)][key] = value
-        for part, group in zip(self.partitions, groups):
+        for part, group in zip(self.partitions, self._group_items(items)):
             # A group can exceed the quota only through the proxy's overflow
             # fallback; pad to at least the quota, never truncate real writes.
             part.handler.execute_write_batch(group, max(quota, len(group)))

@@ -27,6 +27,34 @@ class TestPadding:
         with pytest.raises(ValueError):
             suite.unpad(b"short")
 
+    def test_unpad_rejects_nonzero_tail(self, suite):
+        """Regression: garbage past the payload must not unpad silently.
+
+        ``unpad`` used to drop everything after the length header's payload,
+        so a spliced or corrupted block decrypting to ``len || payload ||
+        junk`` round-tripped as if well-formed.  Every pad byte must be zero.
+        """
+        padded = bytearray(suite.pad(b"hello"))
+        padded[-1] = 0x5A                      # corrupt the last pad byte
+        with pytest.raises(IntegrityError):
+            suite.unpad(bytes(padded))
+
+    def test_unpad_rejects_nonzero_byte_right_after_payload(self, suite):
+        padded = bytearray(suite.pad(b"hi"))
+        padded[4 + 2] = 0x01                   # first byte past the payload
+        with pytest.raises(IntegrityError):
+            suite.unpad(bytes(padded))
+
+    def test_unpad_accepts_full_capacity_block(self, suite):
+        """A payload filling the whole block has an empty tail to verify."""
+        payload = b"z" * (suite.block_size - 4)
+        assert suite.unpad(suite.pad(payload)) == payload
+
+    def test_unpad_rejects_oversized_header(self, suite):
+        padded = (b"\xff\xff\xff\xff").ljust(suite.block_size, b"\x00")
+        with pytest.raises(IntegrityError):
+            suite.unpad(padded)
+
 
 class TestEncryption:
     def test_encrypt_decrypt_roundtrip(self, suite):
@@ -101,6 +129,80 @@ class TestBlockSealing:
     def test_key_generated_when_missing(self):
         suite = CipherSuite(block_size=32)
         assert len(suite.key) == 32
+
+
+class TestBatchedEncryption:
+    """The ``*_many`` batch entry points must match their per-slot forms."""
+
+    def test_encrypt_many_roundtrips_per_slot(self, suite):
+        plaintexts = [b"", b"a"] + [b"payload-%d" % i for i in range(6)]
+        blobs = suite.encrypt_many(plaintexts)
+        assert len(blobs) == len(plaintexts)
+        for blob, plaintext in zip(blobs, plaintexts):
+            assert len(blob) == suite.ciphertext_size
+            assert suite.decrypt(blob) == plaintext
+
+    def test_decrypt_many_matches_per_slot_decrypt(self, suite):
+        plaintexts = [b"block-%d" % i for i in range(5)]
+        blobs = [suite.encrypt(p) for p in plaintexts]
+        assert suite.decrypt_many(blobs) == plaintexts
+
+    def test_batch_contexts_are_bound(self, suite):
+        contexts = [freshness_context(1, 1, s) for s in range(4)]
+        blobs = suite.encrypt_many([b"v%d" % s for s in range(4)], contexts)
+        assert suite.decrypt_many(blobs, contexts) == [b"v0", b"v1", b"v2", b"v3"]
+        wrong = contexts[:3] + [freshness_context(1, 2, 3)]
+        with pytest.raises(IntegrityError):
+            suite.decrypt_many(blobs, wrong)
+
+    def test_decrypt_many_raises_at_first_bad_blob(self, suite):
+        blobs = [suite.encrypt(b"x%d" % i) for i in range(3)]
+        tampered = bytearray(blobs[1])
+        tampered[15] ^= 0xFF
+        blobs[1] = bytes(tampered)
+        with pytest.raises(IntegrityError):
+            suite.decrypt_many(blobs)
+
+    def test_context_count_mismatch_rejected(self, suite):
+        with pytest.raises(ValueError):
+            suite.encrypt_many([b"a", b"b"], [b"only-one"])
+        with pytest.raises(ValueError):
+            suite.decrypt_many([suite.encrypt(b"a")], [b"c1", b"c2"])
+
+    def test_empty_batch(self, suite):
+        assert suite.encrypt_many([]) == []
+        assert suite.decrypt_many([]) == []
+
+    def test_batch_nonces_are_distinct(self, suite):
+        blobs = suite.encrypt_many([b"same"] * 8)
+        nonces = {blob[:suite._nonce_len] for blob in blobs}
+        assert len(nonces) == 8
+
+    def test_unauthenticated_batch_roundtrip(self):
+        suite = CipherSuite(key=b"k" * 32, block_size=64, authenticated=False)
+        plaintexts = [b"p%d" % i for i in range(4)]
+        assert suite.decrypt_many(suite.encrypt_many(plaintexts)) == plaintexts
+
+    def test_disabled_batch_only_pads(self):
+        suite = CipherSuite(block_size=64, enabled=False)
+        blobs = suite.encrypt_many([b"p1", b"p2"])
+        assert all(len(blob) == 64 for blob in blobs)
+        assert suite.decrypt_many(blobs) == [b"p1", b"p2"]
+
+    def test_seal_open_blocks_roundtrip(self, suite):
+        entries = [(7, b"v7", freshness_context(0, 1, 0)),
+                   (None, b"", freshness_context(0, 1, 1)),
+                   (0xFFFFFFFE, b"edge", freshness_context(0, 1, 2))]
+        sealed = suite.seal_blocks(entries)
+        opened = suite.open_blocks(sealed, [ctx for _, _, ctx in entries])
+        assert opened == [(7, b"v7"), (None, b""), (0xFFFFFFFE, b"edge")]
+        # Per-slot open_block agrees blob by blob.
+        for blob, (bid, value, ctx) in zip(sealed, entries):
+            assert suite.open_block(blob, ctx) == (bid, value)
+
+    def test_seal_blocks_real_and_dummy_same_size(self, suite):
+        sealed = suite.seal_blocks([(3, b"real", b""), (None, b"", b"")])
+        assert len(sealed[0]) == len(sealed[1]) == suite.ciphertext_size
 
 
 class TestFreshnessContext:

@@ -153,6 +153,80 @@ class TestInvariants:
                              if 1 in oram.metadata.bucket(bid).valid_real_block_ids()]
             assert holders_after == []
 
+    def test_forget_tree_copy_clears_copy_shadowed_by_consumed_slot(self):
+        """Regression: a consumed (invalid) slot must not shadow the live copy.
+
+        Invalidated slots keep their block id until their bucket is
+        rewritten.  ``forget_tree_copy`` used to stop at the first slot whose
+        id matched — so a consumed slot near the root (the root is on every
+        path) hid the block's *valid* copy deeper on the path.  The missed
+        copy would later be drained by an eviction and resurrect its stale
+        value over the freshly written one: a lost update.
+        """
+        oram, _ = make_oram(seed=9, depth=3)
+        leaf = 5
+        path = path_math.path_buckets(leaf, oram.params.depth)
+        oram.position_map._positions[1] = leaf
+        # Consumed slot in the root still records block 1 ...
+        root = oram.metadata.bucket(path[0])
+        root.slots[0].block_id = 1
+        root.slots[0].valid = False
+        # ... while the live copy sits in the leaf-level bucket.
+        tip = oram.metadata.bucket(path[-1])
+        tip.slots[0].block_id = 1
+        tip.slots[0].valid = True
+
+        oram.forget_tree_copy(1)
+
+        for bid in path:
+            meta = oram.metadata.bucket(bid)
+            assert all(slot.block_id != 1 for slot in meta.slots), bid
+
+    def test_rewrite_after_forget_does_not_resurrect_stale_value(self):
+        """End-to-end shape of the lost update the shadow bug caused.
+
+        Drive the ORAM until block 1 has a valid tree copy, plant a consumed
+        decoy slot for it in the root, overwrite the block, then force enough
+        traffic that evictions drain the old copy's bucket.  The read must
+        return the new value, never the resurrected old one.
+        """
+        oram, _ = make_oram(seed=21, dummiless=True, depth=3)
+        oram.write(1, b"old")
+        for block in range(2, 12):
+            oram.write(block, bytes([block]))
+        leaf = oram.position_map.lookup(1)
+        path = path_math.path_buckets(leaf, oram.params.depth)
+        holders = [bid for bid in path
+                   if 1 in oram.metadata.bucket(bid).valid_real_block_ids()]
+        if not holders or 1 in oram.stash:
+            pytest.skip("seed did not evict block 1 into the tree")
+        # Plant the decoy strictly above the live copy on the path.
+        decoy_levels = [bid for bid in path
+                        if path_math.bucket_level(bid)
+                        < path_math.bucket_level(holders[0])]
+        decoy = oram.metadata.bucket(decoy_levels[-1])
+        free = [s for s in decoy.slots if s.block_id is None and not s.valid]
+        if not free:
+            free = [s for s in decoy.slots if s.block_id is None]
+            free[0].valid = False
+        free[0].block_id = 1
+
+        oram.write(1, b"new")
+        # The dummiless write moved block 1 to the stash (or an immediate
+        # eviction already re-placed it).  Either way the old tree copy must
+        # be gone: block 1 lives in exactly one place, or a later drain
+        # would resurrect b"old".
+        copies = [bid for bid in range(oram.params.num_buckets)
+                  if 1 in oram.metadata.bucket(bid).valid_real_block_ids()]
+        if 1 in oram.stash:
+            assert copies == []
+        else:
+            assert len(copies) == 1
+        rng = random.Random(13)
+        for step in range(120):
+            oram.write(rng.randrange(2, 12), bytes([step % 250]))
+        assert oram.read(1) == b"new"
+
 
 class TestPhysicalBehaviour:
     def test_path_read_touches_one_slot_per_level(self):
